@@ -1,0 +1,100 @@
+// Ablation (google-benchmark): what the paper's choice of a self-balancing
+// BST for each H(c) list buys over a plain sorted vector.
+//   * Top-k scan: both are fast (vector wins on constants);
+//   * point insert/erase (the maintenance workload): the treap's O(log n)
+//     vs the vector's O(n) memmove — the reason Section V's maintenance
+//     needs a tree.
+
+#include <algorithm>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/esd_index.h"
+#include "util/rng.h"
+#include "util/treap.h"
+
+namespace {
+
+using Entry = esd::core::EsdIndex::Entry;
+using Less = esd::core::EsdIndex::EntryLess;
+using Treap = esd::util::Treap<Entry, Less>;
+
+std::vector<Entry> MakeEntries(size_t n, uint64_t seed) {
+  esd::util::Rng rng(seed);
+  std::vector<Entry> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries.push_back(Entry{static_cast<uint32_t>(rng.NextBounded(64)),
+                            static_cast<uint32_t>(i)});
+  }
+  std::sort(entries.begin(), entries.end(), Less());
+  return entries;
+}
+
+void BM_TreapTopK(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Treap treap;
+  treap.BuildFromSorted(MakeEntries(n, 1));
+  for (auto _ : state) {
+    uint32_t sum = 0;
+    size_t left = 100;
+    treap.ForEachInOrder([&](const Entry& e) {
+      sum += e.score;
+      return --left > 0;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_TreapTopK)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_VectorTopK(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Entry> vec = MakeEntries(n, 1);
+  for (auto _ : state) {
+    uint32_t sum = 0;
+    for (size_t i = 0; i < std::min<size_t>(100, vec.size()); ++i) {
+      sum += vec[i].score;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_VectorTopK)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_TreapChurn(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Treap treap;
+  treap.BuildFromSorted(MakeEntries(n, 1));
+  esd::util::Rng rng(2);
+  for (auto _ : state) {
+    Entry e{static_cast<uint32_t>(rng.NextBounded(64)),
+            static_cast<uint32_t>(rng.NextBounded(n))};
+    treap.Erase(e);  // may miss: fine, erase+insert mix either way
+    treap.Insert(e);
+  }
+}
+BENCHMARK(BM_TreapChurn)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_VectorChurn(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<Entry> vec = MakeEntries(n, 1);
+  esd::util::Rng rng(2);
+  Less less;
+  for (auto _ : state) {
+    Entry e{static_cast<uint32_t>(rng.NextBounded(64)),
+            static_cast<uint32_t>(rng.NextBounded(n))};
+    auto it = std::lower_bound(vec.begin(), vec.end(), e, less);
+    if (it != vec.end() && it->score == e.score && it->e == e.e) {
+      vec.erase(it);
+    }
+    it = std::lower_bound(vec.begin(), vec.end(), e, less);
+    if (it == vec.end() || it->score != e.score || it->e != e.e) {
+      vec.insert(it, e);
+    }
+  }
+}
+BENCHMARK(BM_VectorChurn)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Ablation: the two deletion-repair strategies of DynamicEsdIndex.
+//   kRebuildLocal — rebuild the disjoint sets of every affected edge from
+//                   scratch (simple);
+//   kTargeted     — the paper's Update procedure (Algorithm 5): rebuild
+//                   only the component that contained the deleted edge.
+// Both are provably equivalent (tests assert identical indexes); this
+// bench shows what the paper's extra machinery buys.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/dynamic_index.h"
+#include "util/flat_map.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace esd;
+
+  const size_t kUpdates = 500;
+  std::printf("%zu delete+reinsert cycles per dataset\n\n", kUpdates);
+  std::printf("%-15s %22s %22s %9s\n", "dataset", "rebuild-local (ms/op)",
+              "targeted (ms/op)", "speedup");
+  for (const gen::Dataset& d : bench::LoadAll()) {
+    // Same edge sample for both strategies.
+    util::Rng rng(0xAB1A);
+    std::vector<graph::Edge> picked;
+    util::FlatSet<uint64_t> chosen(kUpdates);
+    while (picked.size() < kUpdates) {
+      graph::EdgeId e =
+          static_cast<graph::EdgeId>(rng.NextBounded(d.graph.NumEdges()));
+      if (chosen.Insert(e)) picked.push_back(d.graph.EdgeAt(e));
+    }
+    double ms[2];
+    int i = 0;
+    for (core::DeletionStrategy strategy :
+         {core::DeletionStrategy::kRebuildLocal,
+          core::DeletionStrategy::kTargeted}) {
+      core::DynamicEsdIndex dyn(d.graph, strategy);
+      util::Timer timer;
+      for (const graph::Edge& e : picked) dyn.DeleteEdge(e.u, e.v);
+      for (const graph::Edge& e : picked) dyn.InsertEdge(e.u, e.v);
+      ms[i++] = timer.ElapsedMillis() / (2.0 * kUpdates);
+    }
+    std::printf("%-15s %22.4f %22.4f %8.2fx\n", d.name.c_str(), ms[0], ms[1],
+                ms[0] / ms[1]);
+  }
+
+  // Batch mode: the same churn applied through ApplyBatch, which
+  // deduplicates score refreshes across the whole batch.
+  std::printf("\nbatched churn (%zu deletes then %zu inserts per batch)\n",
+              kUpdates, kUpdates);
+  std::printf("%-15s %22s %22s %9s\n", "dataset", "sequential (ms/op)",
+              "batched (ms/op)", "speedup");
+  for (const gen::Dataset& d : bench::LoadAll()) {
+    util::Rng rng(0xAB1B);
+    std::vector<graph::Edge> picked;
+    util::FlatSet<uint64_t> chosen(kUpdates);
+    while (picked.size() < kUpdates) {
+      graph::EdgeId e =
+          static_cast<graph::EdgeId>(rng.NextBounded(d.graph.NumEdges()));
+      if (chosen.Insert(e)) picked.push_back(d.graph.EdgeAt(e));
+    }
+    using Update = core::DynamicEsdIndex::EdgeUpdate;
+    std::vector<Update> batch;
+    for (const graph::Edge& e : picked) {
+      batch.push_back({Update::Kind::kDelete, e.u, e.v});
+    }
+    for (const graph::Edge& e : picked) {
+      batch.push_back({Update::Kind::kInsert, e.u, e.v});
+    }
+    core::DynamicEsdIndex seq(d.graph, core::DeletionStrategy::kTargeted);
+    util::Timer timer;
+    for (const Update& up : batch) {
+      if (up.kind == Update::Kind::kDelete) {
+        seq.DeleteEdge(up.u, up.v);
+      } else {
+        seq.InsertEdge(up.u, up.v);
+      }
+    }
+    double seq_ms = timer.ElapsedMillis() / batch.size();
+    core::DynamicEsdIndex batched(d.graph, core::DeletionStrategy::kTargeted);
+    timer.Reset();
+    batched.ApplyBatch(batch);
+    double batch_ms = timer.ElapsedMillis() / batch.size();
+    std::printf("%-15s %22.4f %22.4f %8.2fx\n", d.name.c_str(), seq_ms,
+                batch_ms, seq_ms / batch_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Ablation: vertex-parallel vs edge-parallel 4-clique enumeration
+// (Section IV-E). The paper rejects vertex-parallelism because per-vertex
+// clique work follows the (skewed) out-degree distribution, leaving most
+// threads idle behind one hub. A single-core container cannot show the
+// wall-clock gap, so this bench *measures the skew itself*: the share of
+// total 4-clique work concentrated in the heaviest work units under each
+// decomposition, plus wall-clock at whatever parallelism the host has.
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "cliques/four_clique.h"
+#include "core/parallel_builder.h"
+#include "graph/orientation.h"
+
+int main() {
+  using namespace esd;
+
+  const unsigned threads =
+      std::max(2u, std::thread::hardware_concurrency());
+  std::printf("work-skew of the 4-clique enumeration (Sec. IV-E)\n\n");
+  std::printf("%-15s %14s | %16s %16s | %16s %16s\n", "dataset", "work units",
+              "vtx top-1%% share", "arc top-1%% share", "vtx-par (ms)",
+              "edge-par (ms)");
+  for (const gen::Dataset& d : bench::LoadAll()) {
+    graph::DegreeOrderedDag dag(d.graph);
+    // Work model per arc (u,v): the outer merge scans d+(u)+d+(v) slots,
+    // then every member w of W = N+(u) ∩ N+(v) is merged against W
+    // (d+(w) + |W| slots) — exactly the instruction profile of
+    // ForEach4CliqueOfArc.
+    std::vector<uint64_t> per_vertex(d.graph.NumVertices(), 0);
+    std::vector<uint64_t> per_arc;
+    per_arc.reserve(d.graph.NumEdges());
+    uint64_t total = 0;
+    std::vector<graph::VertexId> w_set;
+    for (graph::VertexId u = 0; u < d.graph.NumVertices(); ++u) {
+      auto nu = dag.OutNeighbors(u);
+      for (graph::VertexId v : nu) {
+        auto nv = dag.OutNeighbors(v);
+        w_set.clear();
+        std::set_intersection(nu.begin(), nu.end(), nv.begin(), nv.end(),
+                              std::back_inserter(w_set));
+        uint64_t work = nu.size() + nv.size();
+        for (graph::VertexId w : w_set) {
+          work += dag.OutDegree(w) + w_set.size();
+        }
+        per_arc.push_back(work);
+        per_vertex[u] += work;
+        total += work;
+      }
+    }
+    auto top_share = [total](std::vector<uint64_t> work) {
+      if (total == 0 || work.empty()) return 0.0;
+      std::sort(work.begin(), work.end(), std::greater<>());
+      size_t top = std::max<size_t>(1, work.size() / 100);
+      uint64_t sum = 0;
+      for (size_t i = 0; i < top; ++i) sum += work[i];
+      return 100.0 * static_cast<double>(sum) / static_cast<double>(total);
+    };
+    double vtx_time = bench::TimeOnce([&] {
+      core::BuildIndexParallel(d.graph, threads, nullptr,
+                               core::ParallelMode::kVertexParallel);
+    });
+    double edge_time = bench::TimeOnce([&] {
+      core::BuildIndexParallel(d.graph, threads, nullptr,
+                               core::ParallelMode::kEdgeParallel);
+    });
+    std::printf("%-15s %14llu | %15.1f%% %15.1f%% | %16.1f %16.1f\n",
+                d.name.c_str(), static_cast<unsigned long long>(total),
+                top_share(per_vertex), top_share(per_arc), vtx_time * 1e3,
+                edge_time * 1e3);
+  }
+  std::printf(
+      "\nReading: on skewed graphs (wikitalk-s) the heaviest 1%% of\n"
+      "vertices own several times more clique work than the heaviest 1%% of\n"
+      "arcs — the imbalance that makes the paper pick edge-parallel\n"
+      "decomposition. On the flatter social graphs the degree ordering\n"
+      "already evens out per-vertex work, so both decompositions balance.\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+#ifndef ESD_BENCH_BENCH_COMMON_H_
+#define ESD_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "gen/datasets.h"
+#include "graph/graph.h"
+#include "util/timer.h"
+
+namespace esd::bench {
+
+/// Scale knob for all dataset-driven benches: ESD_BENCH_SCALE=2.0 doubles
+/// every synthetic dataset's vertex budget. Default 1.0 (~1/100 of the
+/// paper's graphs; sized for a single core).
+inline double BenchScale() {
+  const char* env = std::getenv("ESD_BENCH_SCALE");
+  return env != nullptr ? std::atof(env) : 1.0;
+}
+
+/// Loads a standard dataset at the bench scale.
+inline gen::Dataset Load(const std::string& name) {
+  return gen::LoadStandardDataset(name, BenchScale());
+}
+
+/// All five Table-I stand-ins at the bench scale.
+inline std::vector<gen::Dataset> LoadAll() {
+  std::vector<gen::Dataset> out;
+  for (const std::string& name : gen::StandardDatasetNames()) {
+    out.push_back(Load(name));
+  }
+  return out;
+}
+
+/// Times `fn()` once and returns seconds.
+template <typename Fn>
+double TimeOnce(Fn&& fn) {
+  util::Timer t;
+  fn();
+  return t.ElapsedSeconds();
+}
+
+/// Times `fn()` repeatedly (at least `min_reps`, at least `min_seconds`
+/// total) and returns the mean seconds per call. For sub-millisecond
+/// operations.
+template <typename Fn>
+double TimeMean(Fn&& fn, int min_reps = 5, double min_seconds = 0.05) {
+  util::Timer t;
+  int reps = 0;
+  do {
+    fn();
+    ++reps;
+  } while (reps < min_reps || t.ElapsedSeconds() < min_seconds);
+  return t.ElapsedSeconds() / reps;
+}
+
+}  // namespace esd::bench
+
+#endif  // ESD_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,55 @@
+// Exp-1 / Fig. 5: OnlineBFS (min-degree bound) vs OnlineBFS+
+// (common-neighbor bound) on pokec-s and livejournal-s, varying k (tau=3)
+// and varying tau (k=100). The paper's findings to reproduce:
+//   * both runtimes grow with k,
+//   * runtime is highest near tau=1..2 and falls as tau grows,
+//   * OnlineBFS+ is consistently (often several times) faster.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/online_topk.h"
+
+int main() {
+  using namespace esd;
+  using core::OnlineTopK;
+  using core::UpperBoundRule;
+
+  const uint32_t kDefault = 100, tauDefault = 3;
+
+  for (const char* name : {"pokec-s", "livejournal-s"}) {
+    gen::Dataset d = bench::Load(name);
+    std::printf("== %s (n=%u, m=%u)\n", name, d.graph.NumVertices(),
+                d.graph.NumEdges());
+
+    std::printf("-- vary k (tau=%u)\n", tauDefault);
+    std::printf("%6s %18s %18s %9s\n", "k", "OnlineBFS (ms)",
+                "OnlineBFS+ (ms)", "speedup");
+    for (uint32_t k : {1u, 10u, 50u, 100u, 150u, 200u}) {
+      double t_md = bench::TimeOnce([&] {
+        OnlineTopK(d.graph, k, tauDefault, UpperBoundRule::kMinDegree);
+      });
+      double t_cn = bench::TimeOnce([&] {
+        OnlineTopK(d.graph, k, tauDefault, UpperBoundRule::kCommonNeighbor);
+      });
+      std::printf("%6u %18.2f %18.2f %8.2fx\n", k, t_md * 1e3, t_cn * 1e3,
+                  t_md / t_cn);
+    }
+
+    std::printf("-- vary tau (k=%u)\n", kDefault);
+    std::printf("%6s %18s %18s %9s\n", "tau", "OnlineBFS (ms)",
+                "OnlineBFS+ (ms)", "speedup");
+    for (uint32_t tau = 1; tau <= 6; ++tau) {
+      double t_md = bench::TimeOnce([&] {
+        OnlineTopK(d.graph, kDefault, tau, UpperBoundRule::kMinDegree);
+      });
+      double t_cn = bench::TimeOnce([&] {
+        OnlineTopK(d.graph, kDefault, tau, UpperBoundRule::kCommonNeighbor);
+      });
+      std::printf("%6u %18.2f %18.2f %8.2fx\n", tau, t_md * 1e3, t_cn * 1e3,
+                  t_md / t_cn);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

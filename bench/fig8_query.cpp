@@ -1,0 +1,53 @@
+// Exp-4 / Fig. 8: IndexSearch vs OnlineBFS+ on all five datasets, varying
+// k (tau=3) and varying tau (k=100). The paper's findings to reproduce:
+//   * IndexSearch answers in well under a millisecond,
+//   * it beats OnlineBFS+ by >= 4 orders of magnitude,
+//   * IndexSearch runtime is flat in tau (the index is tau-independent).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/esd_index.h"
+#include "core/index_builder.h"
+#include "core/online_topk.h"
+
+int main() {
+  using namespace esd;
+  using core::OnlineTopK;
+  using core::UpperBoundRule;
+
+  const uint32_t kDefault = 100, tauDefault = 3;
+
+  for (const gen::Dataset& d : bench::LoadAll()) {
+    core::EsdIndex index = core::BuildIndexClique(d.graph);
+    std::printf("== %s (n=%u, m=%u)\n", d.name.c_str(),
+                d.graph.NumVertices(), d.graph.NumEdges());
+
+    std::printf("-- vary k (tau=%u)\n", tauDefault);
+    std::printf("%6s %18s %18s %12s\n", "k", "OnlineBFS+ (ms)",
+                "IndexSearch (ms)", "speedup");
+    for (uint32_t k : {1u, 10u, 50u, 100u, 150u, 200u}) {
+      double online = bench::TimeOnce([&] {
+        OnlineTopK(d.graph, k, tauDefault, UpperBoundRule::kCommonNeighbor);
+      });
+      double idx =
+          bench::TimeMean([&] { index.Query(k, tauDefault); });
+      std::printf("%6u %18.2f %18.4f %11.0fx\n", k, online * 1e3, idx * 1e3,
+                  online / idx);
+    }
+
+    std::printf("-- vary tau (k=%u)\n", kDefault);
+    std::printf("%6s %18s %18s %12s\n", "tau", "OnlineBFS+ (ms)",
+                "IndexSearch (ms)", "speedup");
+    for (uint32_t tau = 1; tau <= 6; ++tau) {
+      double online = bench::TimeOnce([&] {
+        OnlineTopK(d.graph, kDefault, tau, UpperBoundRule::kCommonNeighbor);
+      });
+      double idx = bench::TimeMean([&] { index.Query(kDefault, tau); });
+      std::printf("%6u %18.2f %18.4f %11.0fx\n", tau, online * 1e3,
+                  idx * 1e3, online / idx);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

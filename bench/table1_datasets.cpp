@@ -1,0 +1,53 @@
+// Table I: dataset statistics (n, m, d_max, degeneracy δ) for the five
+// synthetic stand-ins, alongside the numbers the paper reports for the
+// original SNAP graphs (the stand-ins are ~1/100 scale; see DESIGN.md §2).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "cliques/triangle.h"
+#include "gen/datasets.h"
+#include "graph/stats.h"
+
+int main() {
+  using namespace esd;
+
+  struct PaperRow {
+    const char* name;
+    uint64_t n, m, dmax, delta;
+  };
+  const PaperRow paper[] = {
+      {"Youtube", 1134890, 2987624, 28754, 51},
+      {"WikiTalk", 2394385, 4659565, 100029, 131},
+      {"DBLP", 1843617, 8350260, 2213, 279},
+      {"Pokec", 1632803, 22301964, 14854, 47},
+      {"LiveJournal", 3997962, 34681189, 14815, 360},
+  };
+
+  std::printf("Table I — datasets (synthetic stand-ins at scale %.2f)\n\n",
+              bench::BenchScale());
+  std::printf("%-15s %10s %12s %8s %6s %6s %6s %5s | paper: %10s %12s %8s %6s\n",
+              "dataset", "n", "m", "dmax", "delta", "cc", "assort", "lcc",
+              "n", "m", "dmax", "delta");
+  int i = 0;
+  for (const gen::Dataset& d : bench::LoadAll()) {
+    gen::DatasetStats s = gen::ComputeStats(d.graph);
+    const PaperRow& p = paper[i++];
+    std::printf(
+        "%-15s %10llu %12llu %8u %6u %6.3f %+6.2f %5.2f | %10llu %12llu "
+        "%8llu %6llu\n",
+        d.name.c_str(), static_cast<unsigned long long>(s.n),
+        static_cast<unsigned long long>(s.m), s.max_degree, s.degeneracy,
+        cliques::GlobalClusteringCoefficient(d.graph),
+        graph::DegreeAssortativity(d.graph),
+        graph::LargestComponentFraction(d.graph),
+        static_cast<unsigned long long>(p.n),
+        static_cast<unsigned long long>(p.m),
+        static_cast<unsigned long long>(p.dmax),
+        static_cast<unsigned long long>(p.delta));
+  }
+  std::printf(
+      "\n(cc = global clustering, assort = degree assortativity, lcc = "
+      "largest-component fraction)\n");
+  return 0;
+}

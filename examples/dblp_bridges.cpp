@@ -1,0 +1,85 @@
+// Research-community bridges (the paper's Exp-7 / Fig. 12): on a DBLP-like
+// co-authorship network, contrast the edges favored by three rankings:
+//   ESD — structural diversity (this paper): strong ties spanning many
+//         research communities;
+//   CN  — common-neighbor count: strong ties inside one dense community;
+//   BT  — edge betweenness: weak ties joining two otherwise-distant blobs.
+//
+// Run: build/examples/dblp_bridges
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "baselines/betweenness.h"
+#include "baselines/common_neighbor.h"
+#include "core/ego_network.h"
+#include "core/esd_index.h"
+#include "core/index_builder.h"
+#include "gen/collaboration.h"
+#include "graph/connectivity.h"
+
+namespace {
+
+using esd::core::ScoredEdge;
+using esd::gen::CollaborationGraph;
+using esd::graph::Edge;
+using esd::graph::Graph;
+
+// How many distinct communities appear among the edge's common neighbors?
+uint32_t CommunitySpan(const CollaborationGraph& net, const Edge& e) {
+  std::set<uint32_t> comms;
+  for (auto w : esd::graph::CommonNeighbors(net.graph, e.u, e.v)) {
+    comms.insert(net.community[w]);
+  }
+  return static_cast<uint32_t>(comms.size());
+}
+
+void Describe(const CollaborationGraph& net, const char* method,
+              const std::vector<ScoredEdge>& edges) {
+  std::printf("%s top edges:\n", method);
+  for (const ScoredEdge& se : edges) {
+    auto sizes =
+        esd::core::EgoComponentSizes(net.graph, se.edge.u, se.edge.v);
+    std::printf(
+        "  %s -- %s: value %-5u ego components %-3zu community span %u\n",
+        net.author_names[se.edge.u].c_str(),
+        net.author_names[se.edge.v].c_str(), se.score, sizes.size(),
+        CommunitySpan(net, se.edge));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace esd;
+
+  gen::CollaborationParams params;
+  params.num_authors = 6000;
+  params.num_papers = 9000;
+  params.num_communities = 20;
+  params.barbell_clique_size = 35;  // big enough blobs for BT to notice
+  gen::CollaborationGraph net = gen::GenerateCollaboration(params, 17);
+  const Graph& g = net.graph;
+  std::printf("co-authorship network: n=%u m=%u\n\n", g.NumVertices(),
+              g.NumEdges());
+
+  const uint32_t k = 5, tau = 2;
+
+  core::EsdIndex index = core::BuildIndexClique(g);
+  Describe(net, "ESD (this paper)",
+           index.Query(k, tau, /*pad_with_zero_edges=*/false));
+  Describe(net, "CN (common neighbors)",
+           baselines::TopKByCommonNeighbors(g, k));
+  Describe(net, "BT (betweenness)",
+           baselines::TopKByBetweenness(g, k, /*num_sources=*/400).edges);
+
+  std::printf(
+      "Reading the three lists: ESD surfaces the planted bridge authors —\n"
+      "prolific pairs whose co-authors split into many unrelated groups.\n"
+      "CN picks intra-community powerhouses (one or two big components).\n"
+      "BT picks barbell joints: high traffic, but the endpoints share no\n"
+      "co-authors at all (a weak tie).\n");
+  return 0;
+}

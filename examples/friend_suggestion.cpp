@@ -1,0 +1,66 @@
+// Friend suggestion via pair structural diversity (Dong et al., KDD'17 —
+// the work that motivated the paper): a NON-adjacent pair whose common
+// neighborhood splits into many social contexts has a high probability of
+// becoming connected. This example ranks candidate links on a social
+// network and contrasts the diversity ranking with plain common-neighbor
+// counting (the classic link-prediction score).
+//
+// Run: build/examples/friend_suggestion
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/ego_network.h"
+#include "core/pair_diversity.h"
+#include "gen/holme_kim.h"
+#include "graph/graph.h"
+
+int main() {
+  using namespace esd;
+
+  graph::Graph g = gen::HolmeKim(2500, 7, 0.55, /*seed=*/77);
+  std::printf("social network: n=%u m=%u\n\n", g.NumVertices(), g.NumEdges());
+
+  const uint32_t k = 8, tau = 2;
+  std::vector<core::ScoredPair> suggestions =
+      core::TopKNonAdjacentPairs(g, k, tau);
+
+  std::printf("top-%u suggested links by pair structural diversity "
+              "(tau=%u):\n",
+              k, tau);
+  std::printf("%-14s %-10s %-10s %s\n", "pair", "diversity", "|N(u,v)|",
+              "shared contexts (component sizes)");
+  for (const core::ScoredPair& p : suggestions) {
+    auto common = graph::CommonNeighbors(g, p.u, p.v);
+    auto sizes = core::EgoComponentSizes(g, p.u, p.v);
+    char pair_label[32];
+    std::snprintf(pair_label, sizeof(pair_label), "(%u,%u)", p.u, p.v);
+    std::printf("%-14s %-10u %-10zu [", pair_label, p.score, common.size());
+    for (size_t i = 0; i < sizes.size(); ++i) {
+      std::printf("%s%u", i ? ", " : "", sizes[i]);
+    }
+    std::printf("]\n");
+  }
+
+  // Contrast: the same candidates ranked purely by |N(u) ∩ N(v)|.
+  std::printf("\nsame query ranked by raw common-neighbor count:\n");
+  std::vector<core::ScoredPair> by_cn =
+      core::TopKNonAdjacentPairs(g, 200, 1);  // tau=1 bound == CN count cap
+  std::sort(by_cn.begin(), by_cn.end(),
+            [&g](const core::ScoredPair& a, const core::ScoredPair& b) {
+              return graph::CountCommonNeighbors(g, a.u, a.v) >
+                     graph::CountCommonNeighbors(g, b.u, b.v);
+            });
+  for (size_t i = 0; i < std::min<size_t>(by_cn.size(), k); ++i) {
+    const auto& p = by_cn[i];
+    std::printf("(%u,%u): CN=%u, diversity=%u\n", p.u, p.v,
+                graph::CountCommonNeighbors(g, p.u, p.v),
+                core::PairScore(g, p.u, p.v, tau));
+  }
+  std::printf(
+      "\nHigh-CN pairs share one dense circle; high-diversity pairs share\n"
+      "several independent circles — Dong et al. found the latter is the\n"
+      "stronger signal that the link will actually form.\n");
+  return 0;
+}

@@ -1,0 +1,35 @@
+#ifndef ESD_BASELINES_BETWEENNESS_H_
+#define ESD_BASELINES_BETWEENNESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/topk_result.h"
+#include "graph/graph.h"
+
+namespace esd::baselines {
+
+/// Exact edge betweenness centrality (Brandes' accumulation on unweighted
+/// shortest-path DAGs), indexed by EdgeId. O(nm) — the BT baseline of the
+/// paper's case studies.
+std::vector<double> EdgeBetweenness(const graph::Graph& g);
+
+/// Pivot-sampled approximation: accumulates dependencies from `num_sources`
+/// uniformly sampled sources and rescales by n / num_sources. Exact when
+/// num_sources >= n.
+std::vector<double> ApproxEdgeBetweenness(const graph::Graph& g,
+                                          uint32_t num_sources, uint64_t seed);
+
+/// Top-k edges by (exact or sampled) betweenness; the ScoredEdge::score
+/// field carries the rank-truncated integer part of the centrality value,
+/// use the returned `values` for exact numbers.
+struct BetweennessTopK {
+  core::TopKResult edges;
+  std::vector<double> values;  // parallel to edges
+};
+BetweennessTopK TopKByBetweenness(const graph::Graph& g, uint32_t k,
+                                  uint32_t num_sources = 0, uint64_t seed = 1);
+
+}  // namespace esd::baselines
+
+#endif  // ESD_BASELINES_BETWEENNESS_H_

@@ -1,0 +1,36 @@
+#include "baselines/common_neighbor.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cliques/triangle.h"
+
+namespace esd::baselines {
+
+using graph::EdgeId;
+using graph::Graph;
+
+std::vector<uint32_t> AllCommonNeighborCounts(const Graph& g) {
+  // |N(uv)| equals the triangle support of the edge.
+  return cliques::EdgeSupport(g);
+}
+
+core::TopKResult TopKByCommonNeighbors(const Graph& g, uint32_t k) {
+  std::vector<uint32_t> counts = AllCommonNeighborCounts(g);
+  std::vector<EdgeId> ids(g.NumEdges());
+  std::iota(ids.begin(), ids.end(), 0);
+  size_t take = std::min<size_t>(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + take, ids.end(),
+                    [&counts](EdgeId a, EdgeId b) {
+                      if (counts[a] != counts[b]) return counts[a] > counts[b];
+                      return a < b;
+                    });
+  core::TopKResult out;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    out.push_back(core::ScoredEdge{g.EdgeAt(ids[i]), counts[ids[i]]});
+  }
+  return out;
+}
+
+}  // namespace esd::baselines

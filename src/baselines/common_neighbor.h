@@ -1,0 +1,21 @@
+#ifndef ESD_BASELINES_COMMON_NEIGHBOR_H_
+#define ESD_BASELINES_COMMON_NEIGHBOR_H_
+
+#include <cstdint>
+
+#include "core/topk_result.h"
+#include "graph/graph.h"
+
+namespace esd::baselines {
+
+/// The CN baseline of the paper's case studies (Exp-7/8): rank edges by the
+/// number of common neighbors |N(u) ∩ N(v)| and return the top k.
+core::TopKResult TopKByCommonNeighbors(const graph::Graph& g, uint32_t k);
+
+/// |N(u) ∩ N(v)| for every edge, indexed by EdgeId. O(αm) via the
+/// degree-ordered triangle listing.
+std::vector<uint32_t> AllCommonNeighborCounts(const graph::Graph& g);
+
+}  // namespace esd::baselines
+
+#endif  // ESD_BASELINES_COMMON_NEIGHBOR_H_

@@ -1,0 +1,34 @@
+#ifndef ESD_BASELINES_VERTEX_DIVERSITY_H_
+#define ESD_BASELINES_VERTEX_DIVERSITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace esd::baselines {
+
+/// A vertex with its structural diversity score.
+struct ScoredVertex {
+  graph::VertexId v = 0;
+  uint32_t score = 0;
+
+  friend bool operator==(const ScoredVertex&, const ScoredVertex&) = default;
+};
+
+/// Structural diversity of a vertex (Ugander et al. / Huang et al. [2]):
+/// number of connected components of the subgraph induced by N(v) with size
+/// >= tau. The vertex analogue of the paper's edge metric, implemented for
+/// completeness and for contrasting the two notions in the examples.
+uint32_t VertexScore(const graph::Graph& g, graph::VertexId v, uint32_t tau);
+
+/// Structural diversity of every vertex at threshold tau.
+std::vector<uint32_t> AllVertexScores(const graph::Graph& g, uint32_t tau);
+
+/// Top-k vertices by structural diversity, descending score, ties by id.
+std::vector<ScoredVertex> TopKVertexDiversity(const graph::Graph& g,
+                                              uint32_t k, uint32_t tau);
+
+}  // namespace esd::baselines
+
+#endif  // ESD_BASELINES_VERTEX_DIVERSITY_H_

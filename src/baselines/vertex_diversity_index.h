@@ -1,0 +1,70 @@
+#ifndef ESD_BASELINES_VERTEX_DIVERSITY_INDEX_H_
+#define ESD_BASELINES_VERTEX_DIVERSITY_INDEX_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "baselines/vertex_diversity.h"
+#include "graph/graph.h"
+#include "util/treap.h"
+
+namespace esd::baselines {
+
+/// Counters for the vertex online search (mirrors core::OnlineStats).
+struct VertexOnlineStats {
+  uint64_t exact_computations = 0;
+  uint64_t heap_pops = 0;
+};
+
+/// Top-k *vertex* structural diversity via the dequeue-twice framework —
+/// the problem of Huang et al. [2] / Chang et al. [4] that inspired the
+/// paper, solved with the same machinery this library builds for edges.
+/// Upper bound: ⌊d(v)/τ⌋. Returns min(k, n) vertices, descending score.
+std::vector<ScoredVertex> OnlineVertexTopK(const graph::Graph& g, uint32_t k,
+                                           uint32_t tau,
+                                           VertexOnlineStats* stats = nullptr);
+
+/// The vertex analogue of the ESDIndex: for every component size c
+/// occurring in some vertex ego-network, a list H(c) of the vertices whose
+/// neighborhood has a component of size >= c, ordered by the structural
+/// diversity computed at threshold c. Queries run in O(k log n + log n);
+/// the same Theorem-4 argument makes snapping tau up to the next occurring
+/// size exact. (The paper leaves vertex indexing as context; we provide it
+/// to show the ESDIndex design generalizes.)
+class VsdIndex {
+ public:
+  struct Entry {
+    uint32_t score = 0;
+    graph::VertexId v = 0;
+  };
+  struct EntryLess {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.score != b.score) return a.score > b.score;
+      return a.v < b.v;
+    }
+  };
+  using List = util::Treap<Entry, EntryLess>;
+
+  /// Builds the index by computing every vertex's neighborhood components.
+  explicit VsdIndex(const graph::Graph& g);
+
+  /// Top-k vertex structural diversity query.
+  std::vector<ScoredVertex> Query(uint32_t k, uint32_t tau,
+                                  bool pad_with_zero_vertices = true) const;
+
+  /// Distinct component sizes, ascending.
+  std::vector<uint32_t> DistinctSizes() const;
+
+  /// Total entries across all lists.
+  uint64_t NumEntries() const { return num_entries_; }
+
+ private:
+  std::map<uint32_t, List> lists_;
+  graph::VertexId n_ = 0;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace esd::baselines
+
+#endif  // ESD_BASELINES_VERTEX_DIVERSITY_INDEX_H_

@@ -1,0 +1,12 @@
+#include "cliques/four_clique.h"
+
+namespace esd::cliques {
+
+uint64_t Count4Cliques(const graph::Graph& g) {
+  graph::DegreeOrderedDag dag(g);
+  uint64_t count = 0;
+  ForEach4Clique(dag, [&count](const FourClique&) { ++count; });
+  return count;
+}
+
+}  // namespace esd::cliques

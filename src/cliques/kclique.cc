@@ -1,0 +1,85 @@
+#include "cliques/kclique.h"
+
+#include <algorithm>
+
+#include "graph/orientation.h"
+
+namespace esd::cliques {
+
+using graph::DegreeOrderedDag;
+using graph::Graph;
+using graph::VertexId;
+
+namespace {
+
+class KCliqueLister {
+ public:
+  KCliqueLister(const DegreeOrderedDag& dag, int k,
+                const std::function<void(std::span<const VertexId>)>& fn)
+      : dag_(dag), k_(k), fn_(fn) {
+    clique_.reserve(k);
+    cands_.resize(k > 2 ? k - 2 : 0);
+  }
+
+  void Run() {
+    const VertexId n = dag_.NumVertices();
+    for (VertexId u = 0; u < n; ++u) {
+      clique_.assign(1, u);
+      if (k_ == 1) {
+        fn_(clique_);
+        continue;
+      }
+      auto out = dag_.OutNeighbors(u);
+      Extend(std::vector<VertexId>(out.begin(), out.end()), 0);
+    }
+  }
+
+ private:
+  // clique_ holds `level + 1` vertices; `cands` are vertices extending it,
+  // all ranked above every clique member.
+  void Extend(const std::vector<VertexId>& cands, int depth) {
+    if (static_cast<int>(clique_.size()) == k_ - 1) {
+      for (VertexId w : cands) {
+        clique_.push_back(w);
+        fn_(clique_);
+        clique_.pop_back();
+      }
+      return;
+    }
+    for (VertexId w : cands) {
+      auto out = dag_.OutNeighbors(w);
+      std::vector<VertexId>& next = cands_[depth];
+      next.clear();
+      std::set_intersection(cands.begin(), cands.end(), out.begin(), out.end(),
+                            std::back_inserter(next));
+      if (next.empty()) continue;  // cannot reach k members down this branch
+      clique_.push_back(w);
+      Extend(next, depth + 1);
+      clique_.pop_back();
+    }
+  }
+
+  const DegreeOrderedDag& dag_;
+  const int k_;
+  const std::function<void(std::span<const VertexId>)>& fn_;
+  std::vector<VertexId> clique_;
+  std::vector<std::vector<VertexId>> cands_;
+};
+
+}  // namespace
+
+void ForEachKClique(const Graph& g, int k,
+                    const std::function<void(std::span<const VertexId>)>& fn) {
+  if (k < 1) return;
+  DegreeOrderedDag dag(g);
+  KCliqueLister lister(dag, k, fn);
+  lister.Run();
+}
+
+uint64_t CountKCliques(const Graph& g, int k) {
+  uint64_t count = 0;
+  ForEachKClique(g, k, [&count](std::span<const VertexId>) { ++count; });
+  return count;
+}
+
+}  // namespace esd::cliques

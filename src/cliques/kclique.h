@@ -1,0 +1,28 @@
+#ifndef ESD_CLIQUES_KCLIQUE_H_
+#define ESD_CLIQUES_KCLIQUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace esd::cliques {
+
+/// Lists every k-clique of `g` exactly once, invoking `fn` with the k
+/// member vertices. The enumeration recurses over the degree-ordered DAG,
+/// intersecting out-neighborhoods (Chiba–Nishizeki / kClist style, the
+/// O(k·m·α^(k-2)) family cited by the paper's related work).
+///
+/// `k` must be >= 1. For k == 1 this lists vertices; for k == 2, edges.
+/// The span passed to `fn` is only valid during the call.
+void ForEachKClique(const graph::Graph& g, int k,
+                    const std::function<void(std::span<const graph::VertexId>)>& fn);
+
+/// Number of k-cliques.
+uint64_t CountKCliques(const graph::Graph& g, int k);
+
+}  // namespace esd::cliques
+
+#endif  // ESD_CLIQUES_KCLIQUE_H_

@@ -1,0 +1,35 @@
+#ifndef ESD_CLIQUES_TRIANGLE_H_
+#define ESD_CLIQUES_TRIANGLE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/graph.h"
+#include "graph/orientation.h"
+
+namespace esd::cliques {
+
+/// A triangle {u, v, w} with the ids of its three edges. Vertices satisfy
+/// u ≺ v ≺ w in the degree ordering of the DAG used for enumeration.
+struct Triangle {
+  graph::VertexId u, v, w;
+  graph::EdgeId uv, uw, vw;
+};
+
+/// Enumerates every triangle exactly once by intersecting out-neighborhoods
+/// on the degree-ordered DAG (the standard O(αm) algorithm).
+void ForEachTriangle(const graph::DegreeOrderedDag& dag,
+                     const std::function<void(const Triangle&)>& fn);
+
+/// Number of triangles.
+uint64_t CountTriangles(const graph::Graph& g);
+
+/// Per-edge triangle support |N(uv)| for every edge, computed in O(αm).
+std::vector<uint32_t> EdgeSupport(const graph::Graph& g);
+
+/// Global clustering coefficient 3*triangles / open wedges (0 if no wedge).
+double GlobalClusteringCoefficient(const graph::Graph& g);
+
+}  // namespace esd::cliques
+
+#endif  // ESD_CLIQUES_TRIANGLE_H_

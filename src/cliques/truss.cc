@@ -1,0 +1,94 @@
+#include "cliques/truss.h"
+
+#include <algorithm>
+
+#include "cliques/triangle.h"
+
+namespace esd::cliques {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+
+TrussDecomposition ComputeTrussness(const Graph& g) {
+  const EdgeId m = g.NumEdges();
+  TrussDecomposition out;
+  out.trussness.assign(m, 2);
+  if (m == 0) return out;
+
+  std::vector<uint32_t> support = EdgeSupport(g);
+  const uint32_t max_support =
+      *std::max_element(support.begin(), support.end());
+
+  // Bucket sort edges by support (Batagelj–Zaveršnik style peeling).
+  std::vector<uint32_t> bin(max_support + 2, 0);
+  for (EdgeId e = 0; e < m; ++e) ++bin[support[e]];
+  uint32_t start = 0;
+  for (uint32_t s = 0; s <= max_support; ++s) {
+    uint32_t cnt = bin[s];
+    bin[s] = start;
+    start += cnt;
+  }
+  std::vector<EdgeId> sorted(m);
+  std::vector<uint32_t> pos(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    pos[e] = bin[support[e]];
+    sorted[pos[e]] = e;
+    ++bin[support[e]];
+  }
+  for (uint32_t s = max_support; s >= 1; --s) bin[s] = bin[s - 1];
+  bin[0] = 0;
+
+  std::vector<uint8_t> removed(m, 0);
+  auto decrease_support = [&](EdgeId e, uint32_t floor_support) {
+    uint32_t s = support[e];
+    if (s <= floor_support) return;
+    // Swap e to the front of its bucket, shift the bucket boundary.
+    uint32_t pe = pos[e];
+    uint32_t pfirst = bin[s];
+    EdgeId first = sorted[pfirst];
+    if (first != e) {
+      sorted[pe] = first;
+      pos[first] = pe;
+      sorted[pfirst] = e;
+      pos[e] = pfirst;
+    }
+    ++bin[s];
+    --support[e];
+  };
+
+  uint32_t k = 2;
+  for (uint32_t i = 0; i < m; ++i) {
+    EdgeId e = sorted[i];
+    k = std::max(k, support[e] + 2);
+    out.trussness[e] = k;
+    removed[e] = 1;
+    // Every surviving triangle through e loses a triangle on its other two
+    // edges. Walk the (sorted) adjacency of both endpoints in lockstep.
+    const graph::Edge& uv = g.EdgeAt(e);
+    auto nu = g.Neighbors(uv.u);
+    auto eu = g.IncidentEdges(uv.u);
+    auto nv = g.Neighbors(uv.v);
+    auto ev = g.IncidentEdges(uv.v);
+    size_t a = 0, b = 0;
+    while (a < nu.size() && b < nv.size()) {
+      if (nu[a] < nv[b]) {
+        ++a;
+      } else if (nu[a] > nv[b]) {
+        ++b;
+      } else {
+        EdgeId e1 = eu[a], e2 = ev[b];
+        if (!removed[e1] && !removed[e2]) {
+          decrease_support(e1, support[e]);
+          decrease_support(e2, support[e]);
+        }
+        ++a;
+        ++b;
+      }
+    }
+  }
+  out.max_trussness = k;
+  return out;
+}
+
+}  // namespace esd::cliques

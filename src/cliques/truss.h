@@ -1,0 +1,29 @@
+#ifndef ESD_CLIQUES_TRUSS_H_
+#define ESD_CLIQUES_TRUSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace esd::cliques {
+
+/// Result of k-truss decomposition (Wang & Cheng; cited by the paper's
+/// related work). The trussness of an edge is the largest k such that the
+/// edge lives in a subgraph where every edge closes >= k-2 triangles.
+struct TrussDecomposition {
+  /// Trussness per edge (>= 2 for every edge of a nonempty graph).
+  std::vector<uint32_t> trussness;
+  /// Maximum trussness over all edges (0 for edgeless graphs).
+  uint32_t max_trussness = 0;
+};
+
+/// Support-peeling truss decomposition over the oriented triangle listing.
+/// Useful as a "tie strength / community density" contrast to structural
+/// diversity: a high-trussness edge sits inside ONE dense community, while
+/// a high-ESD edge touches MANY sparse ones.
+TrussDecomposition ComputeTrussness(const graph::Graph& g);
+
+}  // namespace esd::cliques
+
+#endif  // ESD_CLIQUES_TRUSS_H_

@@ -1,0 +1,250 @@
+#include "core/dynamic_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/index_builder.h"
+
+namespace esd::core {
+
+using graph::Edge;
+using graph::EdgeId;
+using graph::VertexId;
+using util::KeyedDsu;
+
+DynamicEsdIndex::DynamicEsdIndex(const graph::Graph& g,
+                                 DeletionStrategy strategy)
+    : graph_(g), strategy_(strategy) {
+  index_ = BuildIndexClique(g, &dsu_);
+  ids_.Reserve(g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& uv = g.EdgeAt(e);
+    ids_.Insert(Key(uv.u, uv.v), e);
+  }
+}
+
+EdgeId DynamicEsdIndex::IdOf(VertexId u, VertexId v) const {
+  const EdgeId* e = ids_.Find(Key(u, v));
+  assert(e != nullptr);
+  return *e;
+}
+
+void DynamicEsdIndex::RefreshScores(EdgeId e) {
+  if (batch_mode_) {
+    const Edge uv = index_.EdgeAt(e);
+    pending_refresh_.Insert(Key(uv.u, uv.v));
+    return;
+  }
+  index_.SetEdgeSizes(e, dsu_[e].ComponentSizes());
+}
+
+size_t DynamicEsdIndex::ApplyBatch(std::span<const EdgeUpdate> updates) {
+  batch_mode_ = true;
+  pending_refresh_.Clear();
+  size_t applied = 0;
+  for (const EdgeUpdate& up : updates) {
+    bool ok = up.kind == EdgeUpdate::Kind::kInsert ? InsertEdge(up.u, up.v)
+                                                   : DeleteEdge(up.u, up.v);
+    applied += ok;
+  }
+  batch_mode_ = false;
+  size_t touched = 0;
+  pending_refresh_.ForEach([this, &touched](uint64_t key) {
+    const EdgeId* e = ids_.Find(key);
+    if (e != nullptr) {  // skip edges deleted later in the batch
+      index_.SetEdgeSizes(*e, dsu_[*e].ComponentSizes());
+      ++touched;
+    }
+  });
+  pending_refresh_.Clear();
+  last_touched_ = touched;
+  return applied;
+}
+
+bool DynamicEsdIndex::InsertEdge(VertexId u, VertexId v) {
+  if (!graph_.InsertEdge(u, v)) return false;
+  const Edge uv = graph::MakeEdge(u, v);
+  const EdgeId e = index_.RegisterEdge(uv);
+  if (e >= dsu_.size()) {
+    dsu_.resize(e + 1);
+  } else {
+    dsu_[e] = KeyedDsu();
+  }
+  ids_[Key(u, v)] = e;
+
+  // Lines 2-9 of Algorithm 4: the common neighborhood seeds M_uv, and the
+  // new edge makes v a common neighbor of every (u, w) — and u of every
+  // (v, w) — for w in N(uv).
+  std::vector<VertexId> common = graph_.CommonNeighbors(u, v);
+  std::vector<EdgeId> affected;
+  affected.reserve(3 * common.size() + 1);
+  affected.push_back(e);
+  dsu_[e].Reserve(common.size());
+  util::FlatSet<VertexId> in_common(common.size());
+  for (VertexId w : common) {
+    dsu_[e].AddMember(w);
+    in_common.Insert(w);
+    EdgeId euw = IdOf(u, w);
+    EdgeId evw = IdOf(v, w);
+    dsu_[euw].AddMember(v);
+    dsu_[evw].AddMember(u);
+    affected.push_back(euw);
+    affected.push_back(evw);
+  }
+
+  // Lines 10-19: every edge (w1, w2) inside N(uv) closes the new 4-clique
+  // {u, v, w1, w2}; merge the opposite pair in all six structures.
+  for (VertexId w1 : common) {
+    for (VertexId w2 : graph_.Neighbors(w1)) {
+      if (w2 <= w1 || !in_common.Contains(w2)) continue;
+      EdgeId e12 = IdOf(w1, w2);
+      dsu_[e].Union(w1, w2);
+      dsu_[IdOf(u, w1)].Union(v, w2);
+      dsu_[IdOf(u, w2)].Union(v, w1);
+      dsu_[IdOf(v, w1)].Union(u, w2);
+      dsu_[IdOf(v, w2)].Union(u, w1);
+      dsu_[e12].Union(u, v);
+      affected.push_back(e12);
+    }
+  }
+
+  // Lines 20-22: refresh C_xy and H for every edge of Ĝ_{N(uv)}.
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  for (EdgeId a : affected) RefreshScores(a);
+  last_touched_ = affected.size();
+  return true;
+}
+
+bool DynamicEsdIndex::DeleteEdge(VertexId u, VertexId v) {
+  const uint64_t key = Key(u, v);
+  const EdgeId* pe = ids_.Find(key);
+  if (pe == nullptr) return false;
+  const EdgeId e = *pe;
+
+  // Snapshot the affected subgraph G̃_{N(uv)} before mutating the graph.
+  std::vector<VertexId> common = graph_.CommonNeighbors(u, v);
+  util::FlatSet<VertexId> in_common(common.size());
+  for (VertexId w : common) in_common.Insert(w);
+  struct Pair {
+    VertexId w1, w2;
+    EdgeId e12;
+  };
+  std::vector<Pair> pairs;
+  for (VertexId w1 : common) {
+    for (VertexId w2 : graph_.Neighbors(w1)) {
+      if (w2 <= w1 || !in_common.Contains(w2)) continue;
+      pairs.push_back(Pair{w1, w2, IdOf(w1, w2)});
+    }
+  }
+
+  graph_.EraseEdge(u, v);
+
+  std::vector<EdgeId> affected;
+  affected.reserve(2 * common.size() + pairs.size());
+
+  if (strategy_ == DeletionStrategy::kRebuildLocal) {
+    for (VertexId w : common) {
+      affected.push_back(IdOf(u, w));
+      affected.push_back(IdOf(v, w));
+    }
+    for (const Pair& p : pairs) affected.push_back(p.e12);
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()),
+                   affected.end());
+    for (EdgeId a : affected) RebuildDsu(a);
+  } else {
+    // Algorithm 5. For each w in N(uv): v leaves N(uw) and u leaves N(vw);
+    // if the leaving endpoint was isolated it is simply dropped (lines 6-9),
+    // otherwise its component is rebuilt (the Update procedure).
+    for (VertexId w : common) {
+      EdgeId euw = IdOf(u, w);
+      EdgeId evw = IdOf(v, w);
+      if (!dsu_[euw].RemoveSingleton(v)) TargetedRepair(euw, v);
+      if (!dsu_[evw].RemoveSingleton(u)) TargetedRepair(evw, u);
+      affected.push_back(euw);
+      affected.push_back(evw);
+    }
+    // For each edge (w1, w2) inside N(uv): the 4-clique {u, v, w1, w2} is
+    // broken; u and v stay members of M_{w1w2} but their shared component
+    // may split (lines 10-18).
+    for (const Pair& p : pairs) {
+      TargetedRepair(p.e12, u);
+      affected.push_back(p.e12);
+    }
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()),
+                   affected.end());
+  }
+  for (EdgeId a : affected) RefreshScores(a);
+
+  // Lines 22-23: drop the deleted edge itself.
+  index_.SetEdgeSizes(e, {});
+  index_.UnregisterEdge(e);
+  dsu_[e] = KeyedDsu();
+  ids_.Erase(key);
+  last_touched_ = affected.size() + 1;
+  return true;
+}
+
+size_t DynamicEsdIndex::RemoveVertexEdges(graph::VertexId v) {
+  if (v >= graph_.NumVertices()) return 0;
+  auto nbrs = graph_.Neighbors(v);
+  std::vector<EdgeUpdate> batch;
+  batch.reserve(nbrs.size());
+  for (graph::VertexId w : nbrs) {
+    batch.push_back({EdgeUpdate::Kind::kDelete, v, w});
+  }
+  return ApplyBatch(batch);
+}
+
+void DynamicEsdIndex::RebuildDsu(EdgeId e) {
+  const Edge xy = index_.EdgeAt(e);
+  KeyedDsu fresh;
+  std::vector<VertexId> common = graph_.CommonNeighbors(xy.u, xy.v);
+  fresh.Reserve(common.size());
+  util::FlatSet<VertexId> in_common(common.size());
+  for (VertexId w : common) {
+    fresh.AddMember(w);
+    in_common.Insert(w);
+  }
+  for (VertexId w1 : common) {
+    for (VertexId w2 : graph_.Neighbors(w1)) {
+      if (w2 > w1 && in_common.Contains(w2)) fresh.Union(w1, w2);
+    }
+  }
+  dsu_[e] = std::move(fresh);
+}
+
+void DynamicEsdIndex::TargetedRepair(EdgeId e, VertexId z) {
+  KeyedDsu& m = dsu_[e];
+  if (!m.Contains(z)) return;
+  const Edge xy = index_.EdgeAt(e);
+  std::vector<VertexId> stale = m.ComponentMembers(z);
+  m.RemoveComponent(z);
+  // Re-admit members still in N(xy) as singletons (lines 28-30), then
+  // re-union along surviving ego-network edges (lines 31-33). Deletions
+  // only split components, so edges leaving the old component's vertex set
+  // cannot exist.
+  util::FlatSet<VertexId> keep(stale.size());
+  for (VertexId w : stale) {
+    if (graph_.HasEdge(xy.u, w) && graph_.HasEdge(xy.v, w)) {
+      m.AddMember(w);
+      keep.Insert(w);
+    }
+  }
+  for (VertexId w : stale) {
+    if (!keep.Contains(w)) continue;
+    for (VertexId w2 : graph_.Neighbors(w)) {
+      if (w2 > w && keep.Contains(w2)) m.Union(w, w2);
+    }
+  }
+}
+
+uint32_t DynamicEsdIndex::ScoreOf(VertexId u, VertexId v,
+                                  uint32_t tau) const {
+  return index_.ScoreOf(IdOf(u, v), tau);
+}
+
+}  // namespace esd::core

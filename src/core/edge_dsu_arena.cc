@@ -1,0 +1,101 @@
+#include "core/edge_dsu_arena.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "cliques/triangle.h"
+
+namespace esd::core {
+
+using graph::EdgeId;
+using graph::Graph;
+using graph::VertexId;
+
+EdgeDsuArena::EdgeDsuArena(const Graph& g, util::ThreadPool* pool) {
+  const EdgeId m = g.NumEdges();
+  // |N(uv)| per edge via triangle support — one O(αm) pass sizes the whole
+  // arena so member fill never reallocates.
+  std::vector<uint32_t> support = cliques::EdgeSupport(g);
+  offsets_.assign(m + 1, 0);
+  for (EdgeId e = 0; e < m; ++e) offsets_[e + 1] = offsets_[e] + support[e];
+  members_.resize(offsets_[m]);
+  parent_.resize(offsets_[m]);
+  count_.assign(offsets_[m], 1);
+
+  auto fill = [this, &g](uint64_t lo, uint64_t hi) {
+    for (uint64_t e = lo; e < hi; ++e) {
+      const graph::Edge& uv = g.EdgeAt(static_cast<EdgeId>(e));
+      auto nu = g.Neighbors(uv.u);
+      auto nv = g.Neighbors(uv.v);
+      uint64_t out = offsets_[e];
+      size_t i = 0, j = 0;
+      while (i < nu.size() && j < nv.size()) {
+        if (nu[i] < nv[j]) {
+          ++i;
+        } else if (nu[i] > nv[j]) {
+          ++j;
+        } else {
+          members_[out] = nu[i];
+          parent_[out] = static_cast<uint32_t>(out);
+          ++out;
+          ++i;
+          ++j;
+        }
+      }
+      assert(out == offsets_[e + 1]);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelForChunked(0, m, 512, fill);
+  } else {
+    fill(0, m);
+  }
+}
+
+uint32_t EdgeDsuArena::SlotOf(EdgeId e, VertexId w) const {
+  auto slice = Members(e);
+  auto it = std::lower_bound(slice.begin(), slice.end(), w);
+  assert(it != slice.end() && *it == w);
+  return static_cast<uint32_t>(offsets_[e] + (it - slice.begin()));
+}
+
+uint32_t EdgeDsuArena::FindSlot(uint32_t s) {
+  while (parent_[s] != s) {
+    parent_[s] = parent_[parent_[s]];  // path halving
+    s = parent_[s];
+  }
+  return s;
+}
+
+void EdgeDsuArena::Union(EdgeId e, VertexId a, VertexId b) {
+  uint32_t ra = FindSlot(SlotOf(e, a));
+  uint32_t rb = FindSlot(SlotOf(e, b));
+  if (ra == rb) return;
+  if (count_[ra] < count_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  count_[ra] += count_[rb];
+}
+
+std::vector<uint32_t> EdgeDsuArena::ComponentSizes(EdgeId e) {
+  std::vector<uint32_t> sizes;
+  for (uint64_t s = offsets_[e]; s < offsets_[e + 1]; ++s) {
+    if (parent_[s] == s) sizes.push_back(count_[s]);
+  }
+  std::sort(sizes.begin(), sizes.end());
+  return sizes;
+}
+
+util::KeyedDsu EdgeDsuArena::ToKeyedDsu(EdgeId e) {
+  util::KeyedDsu out;
+  auto slice = Members(e);
+  out.Reserve(slice.size());
+  for (VertexId w : slice) out.AddMember(w);
+  for (uint64_t s = offsets_[e]; s < offsets_[e + 1]; ++s) {
+    uint32_t root = FindSlot(static_cast<uint32_t>(s));
+    if (root != s) out.Union(members_[s], members_[root]);
+  }
+  return out;
+}
+
+}  // namespace esd::core

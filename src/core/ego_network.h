@@ -1,0 +1,54 @@
+#ifndef ESD_CORE_EGO_NETWORK_H_
+#define ESD_CORE_EGO_NETWORK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dynamic_graph.h"
+#include "graph/graph.h"
+
+namespace esd::core {
+
+/// Sizes of the connected components of the edge ego-network G_{N(uv)}
+/// (Definition 1), sorted ascending. Computed exactly as the paper's BFS
+/// (Algorithm 1 line 13 / Algorithm 2 lines 1-2): traverse each member's
+/// full neighbor list, keeping the neighbors inside N(uv). Cost
+/// O(Σ_{w∈N(uv)} d(w)).
+std::vector<uint32_t> EgoComponentSizes(const graph::Graph& g,
+                                        graph::VertexId u, graph::VertexId v);
+
+/// Output-sensitive variant (an improvement over the paper): for a member
+/// whose degree exceeds |N(uv)|, probe the member set against its sorted
+/// adjacency instead, bounding the per-member cost by
+/// O(min{d(w), |N(uv)|} log d(w)). Same result; used by the improved-
+/// baseline builder in the ablation benches.
+std::vector<uint32_t> EgoComponentSizesFast(const graph::Graph& g,
+                                            graph::VertexId u,
+                                            graph::VertexId v);
+
+/// Same, over a mutable graph (used by maintenance tests and the
+/// local-rebuild deletion strategy).
+std::vector<uint32_t> EgoComponentSizes(const graph::DynamicGraph& g,
+                                        graph::VertexId u, graph::VertexId v);
+
+/// The connected components of the edge ego-network, as member lists
+/// (each inner vector sorted ascending; components ordered by ascending
+/// size, ties by smallest member). The "social contexts" themselves —
+/// what the case studies display (each component is one sense / one
+/// community around the tie).
+std::vector<std::vector<graph::VertexId>> EgoComponents(const graph::Graph& g,
+                                                        graph::VertexId u,
+                                                        graph::VertexId v);
+
+/// Edge structural diversity score(u, v): number of connected components of
+/// G_{N(uv)} with size >= tau (Definition 2). tau must be >= 1.
+uint32_t EdgeScore(const graph::Graph& g, graph::VertexId u, graph::VertexId v,
+                   uint32_t tau);
+
+/// Score derived from a (sorted ascending) component-size list.
+uint32_t ScoreFromSizes(const std::vector<uint32_t>& sorted_sizes,
+                        uint32_t tau);
+
+}  // namespace esd::core
+
+#endif  // ESD_CORE_EGO_NETWORK_H_

@@ -1,0 +1,156 @@
+#ifndef ESD_CORE_ESD_INDEX_H_
+#define ESD_CORE_ESD_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/topk_result.h"
+#include "graph/graph.h"
+#include "util/treap.h"
+
+namespace esd::core {
+
+/// The ESDIndex structure of Section IV-A.
+///
+/// For every component size c occurring in some edge ego-network (the set
+/// C), the index keeps a list H(c) of all edges whose ego-network has a
+/// component of size >= c, ordered by the structural diversity computed at
+/// threshold c (descending). Each H(c) is an order-statistics treap, the
+/// paper's "self-balance binary search tree".
+///
+/// The class is also the mutation substrate of the maintenance algorithms
+/// (Section V): it stores each edge's component-size multiset C_e and
+/// exposes SetEdgeSizes(), which atomically moves the edge's entries across
+/// all affected lists, creating brand-new H(c) lists by cloning the next
+/// larger list (see DESIGN.md §3 for why the clone is exact) and dropping
+/// lists whose size value disappears from the graph.
+///
+/// Invariant (checked by tests): for every c in C,
+///   H(c) = { (score_c(e), e) : max(C_e) >= c },  score_c(e) = |{s in C_e :
+///   s >= c}|,
+/// and C = { s : some edge has a component of size s }.
+class EsdIndex {
+ public:
+  /// An entry of a sorted list H(c): ordered by score descending, then edge
+  /// id ascending.
+  struct Entry {
+    uint32_t score = 0;
+    graph::EdgeId e = 0;
+  };
+  struct EntryLess {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.score != b.score) return a.score > b.score;
+      return a.e < b.e;
+    }
+  };
+  using List = util::Treap<Entry, EntryLess>;
+
+  EsdIndex() = default;
+
+  // ---- Edge registry ------------------------------------------------------
+
+  /// Registers an edge and returns its dense id (freed ids are reused).
+  graph::EdgeId RegisterEdge(graph::Edge uv);
+
+  /// Unregisters `e`. Its size list must already be empty
+  /// (SetEdgeSizes(e, {}) first).
+  void UnregisterEdge(graph::EdgeId e);
+
+  /// Endpoints of a registered edge.
+  graph::Edge EdgeAt(graph::EdgeId e) const { return edges_[e]; }
+
+  /// Number of live registered edges.
+  size_t NumRegisteredEdges() const { return edges_.size() - free_ids_.size(); }
+
+  /// Total edge-id slots, live and freed (ids are < EdgeSlotCount()).
+  size_t EdgeSlotCount() const { return edges_.size(); }
+
+  /// True if edge id `e` is currently registered.
+  bool IsLive(graph::EdgeId e) const { return e < live_.size() && live_[e]; }
+
+  // ---- Construction / maintenance ----------------------------------------
+
+  /// Replaces edge e's component-size multiset with `sorted_sizes`
+  /// (ascending) and updates every affected H(c) list. O(|C_e| log m)
+  /// amortized, plus clone cost when a never-before-seen size appears.
+  void SetEdgeSizes(graph::EdgeId e, std::vector<uint32_t> sorted_sizes);
+
+  /// Bulk construction: edge ids 0..sizes.size()-1 are registered with the
+  /// given endpoints and every H(c) list is built from sorted runs in
+  /// O(total entries). Replaces current contents. Used by the builders
+  /// (Algorithms 2 and 3, lines building H).
+  void BulkLoad(std::vector<graph::Edge> edges,
+                std::vector<std::vector<uint32_t>> sizes_per_edge);
+
+  /// Component-size multiset of edge e (ascending).
+  const std::vector<uint32_t>& EdgeSizes(graph::EdgeId e) const {
+    return edge_sizes_[e];
+  }
+
+  // ---- Query ---------------------------------------------------------------
+
+  /// Top-k structural diversity query (Section IV-B): finds the smallest
+  /// c* >= tau in C and reports the first k entries of H(c*).
+  /// O(k log m + log n).
+  ///
+  /// If fewer than k edges have positive score and `pad_with_zero_edges` is
+  /// true, arbitrary registered edges with score 0 fill the remainder
+  /// (parity with the online algorithms, which always return min(k, m)
+  /// edges).
+  TopKResult Query(uint32_t k, uint32_t tau,
+                   bool pad_with_zero_edges = true) const;
+
+  /// Score of edge `e` at threshold tau, from the stored multiset. O(log).
+  uint32_t ScoreOf(graph::EdgeId e, uint32_t tau) const;
+
+  /// Number of edges whose structural diversity at threshold tau is
+  /// >= min_score. O(log m) via the order statistics of H(c*). A
+  /// min_score of 0 counts every registered edge.
+  uint64_t CountWithScoreAtLeast(uint32_t tau, uint32_t min_score) const;
+
+  /// All edges with score >= min_score at threshold tau (at most `limit`,
+  /// 0 = unlimited), descending score. min_score must be >= 1.
+  TopKResult QueryWithScoreAtLeast(uint32_t tau, uint32_t min_score,
+                                   size_t limit = 0) const;
+
+  // ---- Introspection -------------------------------------------------------
+
+  /// Distinct component sizes C, ascending.
+  std::vector<uint32_t> DistinctSizes() const;
+
+  /// Number of sorted lists |C|.
+  size_t NumLists() const { return lists_.size(); }
+
+  /// Total entries across all lists — the paper's O(αm) index size.
+  uint64_t NumEntries() const { return num_entries_; }
+
+  /// Approximate resident bytes of the index payload (list nodes + stored
+  /// size multisets), the quantity plotted in Fig. 6(a).
+  uint64_t MemoryBytes() const;
+
+  /// Invokes fn(c, list) for every list, ascending c.
+  template <typename Fn>
+  void ForEachList(Fn&& fn) const {
+    for (const auto& [c, list] : lists_) fn(c, list);
+  }
+
+ private:
+  void RemoveEntries(graph::EdgeId e, const std::vector<uint32_t>& sizes);
+  void InsertEntries(graph::EdgeId e, const std::vector<uint32_t>& sizes);
+
+  std::map<uint32_t, List> lists_;
+  // Number of edges owning at least one component of size c; a list lives
+  // iff its counter is positive.
+  std::map<uint32_t, uint32_t> size_owner_count_;
+  std::vector<std::vector<uint32_t>> edge_sizes_;  // by EdgeId
+  std::vector<graph::Edge> edges_;                 // by EdgeId
+  std::vector<graph::EdgeId> free_ids_;
+  std::vector<uint8_t> live_;  // by EdgeId
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace esd::core
+
+#endif  // ESD_CORE_ESD_INDEX_H_

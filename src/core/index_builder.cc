@@ -1,0 +1,70 @@
+#include "core/index_builder.h"
+
+#include <utility>
+
+#include "cliques/four_clique.h"
+#include "core/edge_dsu_arena.h"
+#include "core/ego_network.h"
+#include "graph/orientation.h"
+
+namespace esd::core {
+
+using graph::EdgeId;
+using graph::Graph;
+using util::KeyedDsu;
+
+EsdIndex BuildIndexBasic(const Graph& g) {
+  std::vector<std::vector<uint32_t>> sizes(g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const graph::Edge& uv = g.EdgeAt(e);
+    sizes[e] = EgoComponentSizes(g, uv.u, uv.v);
+  }
+  EsdIndex index;
+  index.BulkLoad(g.Edges(), std::move(sizes));
+  return index;
+}
+
+EsdIndex BuildIndexBasicFast(const Graph& g) {
+  std::vector<std::vector<uint32_t>> sizes(g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const graph::Edge& uv = g.EdgeAt(e);
+    sizes[e] = EgoComponentSizesFast(g, uv.u, uv.v);
+  }
+  EsdIndex index;
+  index.BulkLoad(g.Edges(), std::move(sizes));
+  return index;
+}
+
+EsdIndex BuildIndexClique(const Graph& g, std::vector<KeyedDsu>* m_out) {
+  const EdgeId m = g.NumEdges();
+  // Lines 1-4 of Algorithm 3: one disjoint-set structure per edge, seeded
+  // with the common neighborhood as singletons (arena-packed).
+  EdgeDsuArena dsu(g);
+
+  // Lines 5-15: each 4-clique {u, v, w1, w2} merges, in the structure of
+  // every one of its six edges, the opposite pair of vertices.
+  graph::DegreeOrderedDag dag(g);
+  cliques::ForEach4Clique(dag, [&dsu](const cliques::FourClique& q) {
+    dsu.Union(q.uv, q.w1, q.w2);
+    dsu.Union(q.uw1, q.v, q.w2);
+    dsu.Union(q.uw2, q.v, q.w1);
+    dsu.Union(q.vw1, q.u, q.w2);
+    dsu.Union(q.vw2, q.u, q.w1);
+    dsu.Union(q.w1w2, q.u, q.v);
+  });
+
+  // Lines 16-23: read component sizes off the disjoint sets and build H.
+  std::vector<std::vector<uint32_t>> sizes(m);
+  for (EdgeId e = 0; e < m; ++e) sizes[e] = dsu.ComponentSizes(e);
+
+  EsdIndex index;
+  index.BulkLoad(g.Edges(), std::move(sizes));
+  if (m_out != nullptr) {
+    m_out->clear();
+    m_out->reserve(m);
+    for (EdgeId e = 0; e < m; ++e) m_out->push_back(dsu.ToKeyedDsu(e));
+  }
+  return index;
+}
+
+}  // namespace esd::core

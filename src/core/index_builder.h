@@ -1,0 +1,34 @@
+#ifndef ESD_CORE_INDEX_BUILDER_H_
+#define ESD_CORE_INDEX_BUILDER_H_
+
+#include <vector>
+
+#include "core/esd_index.h"
+#include "graph/graph.h"
+#include "util/dsu.h"
+
+namespace esd::core {
+
+/// Basic index construction (Algorithm 2, "ESDIndex"): one BFS over every
+/// edge ego-network. O((d_max + log m) α m) worst case — each 4-clique is
+/// effectively traversed six times, once per edge.
+EsdIndex BuildIndexBasic(const graph::Graph& g);
+
+/// Improved BFS baseline (beyond the paper): same as Algorithm 2 but with
+/// the output-sensitive ego BFS (EgoComponentSizesFast), which bounds the
+/// per-member probe cost by min{d(w), |N(uv)|}. Used by the builder
+/// ablation bench.
+EsdIndex BuildIndexBasicFast(const graph::Graph& g);
+
+/// Improved index construction (Algorithm 3, "ESDIndex+"): enumerate every
+/// 4-clique exactly once on the degree-ordered DAG and grow the per-edge
+/// disjoint sets M_uv (Observation 1). O((α γ(n) + log m) α m).
+///
+/// If `m_out` is non-null it receives the per-edge disjoint-set structures
+/// (indexed by EdgeId), which the dynamic index maintains incrementally.
+EsdIndex BuildIndexClique(const graph::Graph& g,
+                          std::vector<util::KeyedDsu>* m_out = nullptr);
+
+}  // namespace esd::core
+
+#endif  // ESD_CORE_INDEX_BUILDER_H_

@@ -1,0 +1,209 @@
+#include "core/index_io.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <type_traits>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+namespace esd::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'E', 'S', 'D', 'X'};
+constexpr uint32_t kVersion = 1;
+
+// Running FNV-1a over serialized payload bytes.
+class Checksummer {
+ public:
+  void Feed(const void* data, size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  template <typename T>
+  void Put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    out_.write(reinterpret_cast<const char*>(&value), sizeof(value));
+    sum_.Feed(&value, sizeof(value));
+  }
+  void PutRaw(const void* data, size_t n) {
+    out_.write(static_cast<const char*>(data), static_cast<long>(n));
+    sum_.Feed(data, n);
+  }
+  uint64_t checksum() const { return sum_.value(); }
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ostream& out_;
+  Checksummer sum_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::istream& in) : in_(in) {}
+
+  template <typename T>
+  bool Get(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    in_.read(reinterpret_cast<char*>(value), sizeof(T));
+    if (!in_) return false;
+    sum_.Feed(value, sizeof(T));
+    return true;
+  }
+  uint64_t checksum() const { return sum_.value(); }
+
+ private:
+  std::istream& in_;
+  Checksummer sum_;
+};
+
+}  // namespace
+
+bool SerializeIndex(const EsdIndex& index, std::ostream& out,
+                    std::string* error) {
+  out.write(kMagic, sizeof(kMagic));
+  uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+
+  Writer w(out);
+  const uint64_t slots = index.EdgeSlotCount();
+  w.Put(slots);
+  for (graph::EdgeId e = 0; e < slots; ++e) {
+    const graph::Edge edge = index.EdgeAt(e);
+    w.Put(edge.u);
+    w.Put(edge.v);
+    w.Put(static_cast<uint8_t>(index.IsLive(e) ? 1 : 0));
+    // Freed slots always carry an empty multiset (UnregisterEdge requires
+    // clearing first), so EdgeSizes is safe for both cases.
+    const std::vector<uint32_t>& sizes = index.EdgeSizes(e);
+    w.Put(static_cast<uint32_t>(sizes.size()));
+    if (!sizes.empty()) {
+      w.PutRaw(sizes.data(), sizes.size() * sizeof(uint32_t));
+    }
+  }
+  uint64_t checksum = w.checksum();
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write failure while serializing index";
+    return false;
+  }
+  return true;
+}
+
+bool DeserializeIndex(std::istream& in, EsdIndex* index, std::string* error) {
+  auto fail = [error](const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return fail("bad magic: not an ESDIndex file");
+  }
+  uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || version != kVersion) return fail("unsupported index version");
+
+  Reader r(in);
+  uint64_t slots = 0;
+  if (!r.Get(&slots)) return fail("truncated index file");
+
+  struct Record {
+    graph::Edge edge;
+    bool live;
+    std::vector<uint32_t> sizes;
+  };
+  std::vector<Record> records;
+  records.reserve(slots);
+  for (uint64_t i = 0; i < slots; ++i) {
+    Record rec;
+    uint8_t live = 0;
+    uint32_t count = 0;
+    if (!r.Get(&rec.edge.u) || !r.Get(&rec.edge.v) || !r.Get(&live) ||
+        !r.Get(&count)) {
+      return fail("truncated index file");
+    }
+    rec.live = live != 0;
+    rec.sizes.resize(count);
+    uint32_t prev = 0;
+    for (uint32_t j = 0; j < count; ++j) {
+      if (!r.Get(&rec.sizes[j])) return fail("truncated index file");
+      if (rec.sizes[j] < prev || rec.sizes[j] == 0) {
+        return fail("corrupt index file: size multiset not sorted/positive");
+      }
+      prev = rec.sizes[j];
+    }
+    records.push_back(std::move(rec));
+  }
+  uint64_t stored_checksum = 0;
+  in.read(reinterpret_cast<char*>(&stored_checksum), sizeof(stored_checksum));
+  if (!in || stored_checksum != r.checksum()) {
+    return fail("checksum mismatch: index file corrupt");
+  }
+
+  // Fast path: all slots live -> BulkLoad. Otherwise replay registration to
+  // reproduce the exact id layout.
+  bool all_live = true;
+  for (const Record& rec : records) all_live &= rec.live;
+  EsdIndex fresh;
+  if (all_live) {
+    std::vector<graph::Edge> edges;
+    std::vector<std::vector<uint32_t>> sizes;
+    edges.reserve(records.size());
+    sizes.reserve(records.size());
+    for (Record& rec : records) {
+      edges.push_back(rec.edge);
+      sizes.push_back(std::move(rec.sizes));
+    }
+    fresh.BulkLoad(std::move(edges), std::move(sizes));
+  } else {
+    // Register every slot first so ids stay sequential (RegisterEdge would
+    // otherwise recycle freed ids mid-replay), then free the dead slots.
+    for (Record& rec : records) {
+      graph::EdgeId e = fresh.RegisterEdge(rec.edge);
+      if (rec.live) fresh.SetEdgeSizes(e, std::move(rec.sizes));
+    }
+    for (graph::EdgeId e = 0; e < records.size(); ++e) {
+      if (!records[e].live) fresh.UnregisterEdge(e);
+    }
+  }
+  *index = std::move(fresh);
+  return true;
+}
+
+bool SaveIndex(const EsdIndex& index, const std::string& path,
+               std::string* error) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  return SerializeIndex(index, out, error);
+}
+
+bool LoadIndex(const std::string& path, EsdIndex* index, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  return DeserializeIndex(in, index, error);
+}
+
+}  // namespace esd::core

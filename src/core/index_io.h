@@ -1,0 +1,32 @@
+#ifndef ESD_CORE_INDEX_IO_H_
+#define ESD_CORE_INDEX_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/esd_index.h"
+
+namespace esd::core {
+
+/// Binary serialization of an EsdIndex, so a built index can be persisted
+/// and memory-mapped/loaded by later processes (the paper's motivating
+/// deployment: build once in ~minutes, then answer queries in
+/// milliseconds forever).
+///
+/// Format (little-endian): magic "ESDX", u32 version, u64 edge count,
+/// per-edge record {u, v, live, size count, sizes...}, u64 FNV-1a checksum
+/// of everything after the header. The H(c) lists are rebuilt on load from
+/// the per-edge size multisets (cheaper to rebuild than to store, and
+/// immune to treap layout drift).
+bool SaveIndex(const EsdIndex& index, const std::string& path,
+               std::string* error);
+bool LoadIndex(const std::string& path, EsdIndex* index, std::string* error);
+
+/// Stream variants (used by the file functions and by tests).
+bool SerializeIndex(const EsdIndex& index, std::ostream& out,
+                    std::string* error);
+bool DeserializeIndex(std::istream& in, EsdIndex* index, std::string* error);
+
+}  // namespace esd::core
+
+#endif  // ESD_CORE_INDEX_IO_H_

@@ -1,0 +1,40 @@
+#include "core/naive_topk.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/ego_network.h"
+
+namespace esd::core {
+
+using graph::EdgeId;
+using graph::Graph;
+
+std::vector<uint32_t> AllEdgeScores(const Graph& g, uint32_t tau) {
+  std::vector<uint32_t> scores(g.NumEdges());
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const graph::Edge& uv = g.EdgeAt(e);
+    scores[e] = EdgeScore(g, uv.u, uv.v, tau);
+  }
+  return scores;
+}
+
+TopKResult NaiveTopK(const Graph& g, uint32_t k, uint32_t tau) {
+  std::vector<uint32_t> scores = AllEdgeScores(g, tau);
+  std::vector<EdgeId> ids(g.NumEdges());
+  std::iota(ids.begin(), ids.end(), 0);
+  size_t take = std::min<size_t>(k, ids.size());
+  std::partial_sort(ids.begin(), ids.begin() + take, ids.end(),
+                    [&scores](EdgeId a, EdgeId b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  TopKResult out;
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    out.push_back(ScoredEdge{g.EdgeAt(ids[i]), scores[ids[i]]});
+  }
+  return out;
+}
+
+}  // namespace esd::core

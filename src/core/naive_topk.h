@@ -1,0 +1,23 @@
+#ifndef ESD_CORE_NAIVE_TOPK_H_
+#define ESD_CORE_NAIVE_TOPK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/topk_result.h"
+#include "graph/graph.h"
+
+namespace esd::core {
+
+/// Structural diversity of every edge at threshold tau, indexed by EdgeId.
+/// This is the "straightforward algorithm" of Section I used as the ground
+/// truth in tests.
+std::vector<uint32_t> AllEdgeScores(const graph::Graph& g, uint32_t tau);
+
+/// Baseline top-k: score every edge, partial-sort, return the k best
+/// (fewer if the graph has fewer than k edges).
+TopKResult NaiveTopK(const graph::Graph& g, uint32_t k, uint32_t tau);
+
+}  // namespace esd::core
+
+#endif  // ESD_CORE_NAIVE_TOPK_H_

@@ -1,0 +1,41 @@
+#ifndef ESD_CORE_ONLINE_TOPK_H_
+#define ESD_CORE_ONLINE_TOPK_H_
+
+#include <cstdint>
+
+#include "core/topk_result.h"
+#include "graph/graph.h"
+
+namespace esd::core {
+
+/// Upper-bounding rule used to initialize priorities in the dequeue-twice
+/// framework (Section III).
+enum class UpperBoundRule {
+  /// ⌊min{d(u), d(v)} / τ⌋ — cheap, O(m) total ("OnlineBFS").
+  kMinDegree,
+  /// ⌊|N(u) ∩ N(v)| / τ⌋ — tighter, O(αm) total ("OnlineBFS+").
+  kCommonNeighbor,
+};
+
+/// Counters exposed for the pruning-power ablation bench.
+struct OnlineStats {
+  /// Number of exact BFS score computations (<= m; smaller is better).
+  uint64_t exact_computations = 0;
+  /// Total priority-queue pops.
+  uint64_t heap_pops = 0;
+  /// Time spent computing the initial upper bounds, in seconds.
+  double bound_seconds = 0;
+};
+
+/// The dequeue-twice online search framework (Algorithm 1): every edge is
+/// enqueued with its upper bound; the first time an edge is dequeued its
+/// exact score is computed and re-enqueued; the second dequeue certifies
+/// the edge as an answer (Theorem 1).
+///
+/// Returns min(k, m) edges in descending score order. `tau` must be >= 1.
+TopKResult OnlineTopK(const graph::Graph& g, uint32_t k, uint32_t tau,
+                      UpperBoundRule rule, OnlineStats* stats = nullptr);
+
+}  // namespace esd::core
+
+#endif  // ESD_CORE_ONLINE_TOPK_H_

@@ -1,0 +1,83 @@
+#include "core/pair_diversity.h"
+
+#include <algorithm>
+
+#include "core/ego_network.h"
+#include "util/binary_heap.h"
+#include "util/flat_map.h"
+
+namespace esd::core {
+
+using graph::Graph;
+using graph::VertexId;
+
+uint32_t PairScore(const Graph& g, VertexId u, VertexId v, uint32_t tau) {
+  if (u == v || tau == 0) return 0;
+  return ScoreFromSizes(EgoComponentSizes(g, u, v), tau);
+}
+
+std::vector<ScoredPair> TopKNonAdjacentPairs(const Graph& g, uint32_t k,
+                                             uint32_t tau,
+                                             size_t max_candidates) {
+  std::vector<ScoredPair> result;
+  if (k == 0 || tau == 0 || g.NumVertices() < 2) return result;
+
+  // Candidate generation: for every vertex u, count common neighbors with
+  // each distance-2 vertex w > u (wedges u - v - w), skipping adjacent
+  // pairs. Every non-adjacent pair with a nonempty common neighborhood is
+  // produced exactly once.
+  struct Candidate {
+    VertexId u, v;
+    uint32_t common;
+  };
+  std::vector<Candidate> candidates;
+  util::FlatMap<VertexId, uint32_t> counts;
+  for (VertexId u = 0; u < g.NumVertices(); ++u) {
+    counts.Clear();
+    for (VertexId v : g.Neighbors(u)) {
+      for (VertexId w : g.Neighbors(v)) {
+        if (w > u) ++counts[w];
+      }
+    }
+    counts.ForEach([&](VertexId w, uint32_t c) {
+      if (!g.HasEdge(u, w)) candidates.push_back(Candidate{u, w, c});
+    });
+  }
+
+  // Optional cap: keep the candidates with the most common neighbors (the
+  // upper bound is monotone in the count, so this discards the least
+  // promising pairs first).
+  if (max_candidates > 0 && candidates.size() > max_candidates) {
+    std::nth_element(candidates.begin(),
+                     candidates.begin() + static_cast<long>(max_candidates),
+                     candidates.end(),
+                     [](const Candidate& a, const Candidate& b) {
+                       return a.common > b.common;
+                     });
+    candidates.resize(max_candidates);
+  }
+
+  // Dequeue-twice search over the candidates.
+  auto priority = [](uint32_t value, uint32_t phase) {
+    return (static_cast<int64_t>(value) << 1) | phase;
+  };
+  util::BinaryHeap<uint32_t, int64_t> queue;  // payload: candidate index
+  queue.Reserve(candidates.size());
+  for (uint32_t i = 0; i < candidates.size(); ++i) {
+    queue.Push(i, priority(candidates[i].common / tau, 0));
+  }
+  std::vector<uint32_t> exact(candidates.size(), 0);
+  while (result.size() < k && !queue.empty()) {
+    auto [i, prio] = queue.Pop();
+    const Candidate& c = candidates[i];
+    if ((prio & 1) != 0) {
+      result.push_back(ScoredPair{c.u, c.v, exact[i]});
+      continue;
+    }
+    exact[i] = PairScore(g, c.u, c.v, tau);
+    queue.Push(i, priority(exact[i], 1));
+  }
+  return result;
+}
+
+}  // namespace esd::core

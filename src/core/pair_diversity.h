@@ -1,0 +1,42 @@
+#ifndef ESD_CORE_PAIR_DIVERSITY_H_
+#define ESD_CORE_PAIR_DIVERSITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/topk_result.h"
+#include "graph/graph.h"
+
+namespace esd::core {
+
+/// Structural diversity of an arbitrary vertex pair (u, v) — Dong et
+/// al. [3], the work that motivated the paper: the number of connected
+/// components with size >= tau in the subgraph induced by N(u) ∩ N(v).
+/// The pair need not be an edge; Dong et al. showed high pair diversity
+/// predicts future links ("friend suggestion").
+uint32_t PairScore(const graph::Graph& g, graph::VertexId u,
+                   graph::VertexId v, uint32_t tau);
+
+/// A scored candidate pair (not necessarily an edge).
+struct ScoredPair {
+  graph::VertexId u = 0, v = 0;
+  uint32_t score = 0;
+
+  friend bool operator==(const ScoredPair&, const ScoredPair&) = default;
+};
+
+/// Top-k *non-adjacent* pairs by structural diversity — the friend-
+/// suggestion query. Candidates are exactly the non-adjacent pairs with at
+/// least one common neighbor (others score 0), enumerated through wedges;
+/// the dequeue-twice framework with the common-neighbor bound
+/// ⌊|N(u)∩N(v)|/τ⌋ prunes exact computations.
+///
+/// `max_candidates` caps the candidate set (highest common-neighbor counts
+/// kept) to bound memory on dense graphs; 0 means no cap.
+std::vector<ScoredPair> TopKNonAdjacentPairs(const graph::Graph& g,
+                                             uint32_t k, uint32_t tau,
+                                             size_t max_candidates = 0);
+
+}  // namespace esd::core
+
+#endif  // ESD_CORE_PAIR_DIVERSITY_H_

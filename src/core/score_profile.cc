@@ -1,0 +1,41 @@
+#include "core/score_profile.h"
+
+#include <algorithm>
+
+namespace esd::core {
+
+ScoreHistogram ComputeScoreHistogram(const EsdIndex& index, uint32_t tau) {
+  ScoreHistogram out;
+  out.total_edges = index.NumRegisteredEdges();
+  // Every edge in H(c*) contributes its stored score; every other edge
+  // scores zero (Theorem 4 argument: no component size lies in [tau, c*)).
+  TopKResult scored = index.QueryWithScoreAtLeast(tau, 1);
+  out.max_score = scored.empty() ? 0 : scored.front().score;
+  out.count.assign(out.max_score + 1, 0);
+  uint64_t sum = 0;
+  for (const ScoredEdge& se : scored) {
+    ++out.count[se.score];
+    sum += se.score;
+  }
+  out.count[0] = out.total_edges - scored.size();
+  out.mean = out.total_edges == 0
+                 ? 0.0
+                 : static_cast<double>(sum) /
+                       static_cast<double>(out.total_edges);
+  return out;
+}
+
+uint32_t ScorePercentile(const ScoreHistogram& histogram, double fraction) {
+  if (histogram.total_edges == 0) return 0;
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  uint64_t need = static_cast<uint64_t>(
+      fraction * static_cast<double>(histogram.total_edges));
+  uint64_t seen = 0;
+  for (uint32_t s = 0; s < histogram.count.size(); ++s) {
+    seen += histogram.count[s];
+    if (seen >= need) return s;
+  }
+  return histogram.max_score;
+}
+
+}  // namespace esd::core

@@ -1,0 +1,33 @@
+#ifndef ESD_CORE_SCORE_PROFILE_H_
+#define ESD_CORE_SCORE_PROFILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/esd_index.h"
+
+namespace esd::core {
+
+/// Distribution of structural-diversity scores over all edges at a fixed
+/// threshold tau — the analytics view the paper's case studies eyeball
+/// ("when tau >= 3, the structural diversity scores of most edges in DBLP
+/// are no larger than 3"). Computed straight off the index in one in-order
+/// walk of H(c*).
+struct ScoreHistogram {
+  /// count[s] = number of edges with score exactly s (index 0 included).
+  std::vector<uint64_t> count;
+  uint64_t total_edges = 0;
+  uint32_t max_score = 0;
+  double mean = 0.0;
+};
+
+/// Builds the histogram for threshold tau. O(|H(c*)| + max_score).
+ScoreHistogram ComputeScoreHistogram(const EsdIndex& index, uint32_t tau);
+
+/// Smallest score s such that at least `fraction` of all edges score <= s.
+/// fraction in [0,1]; returns 0 for empty indexes.
+uint32_t ScorePercentile(const ScoreHistogram& histogram, double fraction);
+
+}  // namespace esd::core
+
+#endif  // ESD_CORE_SCORE_PROFILE_H_

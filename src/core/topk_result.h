@@ -1,0 +1,35 @@
+#ifndef ESD_CORE_TOPK_RESULT_H_
+#define ESD_CORE_TOPK_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace esd::core {
+
+/// One edge of a top-k answer.
+struct ScoredEdge {
+  graph::Edge edge;
+  uint32_t score = 0;
+
+  friend bool operator==(const ScoredEdge&, const ScoredEdge&) = default;
+};
+
+/// A top-k answer: edges sorted by score descending. Ties are broken
+/// arbitrarily (the paper leaves tie order unspecified), so tests compare
+/// the score multiset, not edge identities.
+using TopKResult = std::vector<ScoredEdge>;
+
+/// Extracts the (descending) score vector of a result — the canonical form
+/// used when comparing answers from different algorithms.
+inline std::vector<uint32_t> Scores(const TopKResult& r) {
+  std::vector<uint32_t> s;
+  s.reserve(r.size());
+  for (const ScoredEdge& e : r) s.push_back(e.score);
+  return s;
+}
+
+}  // namespace esd::core
+
+#endif  // ESD_CORE_TOPK_RESULT_H_

@@ -1,0 +1,14 @@
+#ifndef ESD_ESD_VERSION_H_
+#define ESD_ESD_VERSION_H_
+
+namespace esd {
+
+/// Library semantic version.
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace esd
+
+#endif  // ESD_ESD_VERSION_H_

@@ -1,0 +1,57 @@
+#include "gen/barabasi_albert.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace esd::gen {
+
+using graph::Edge;
+using graph::Graph;
+using graph::VertexId;
+
+Graph BarabasiAlbert(uint32_t n, uint32_t attach, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Edge> edges;
+  if (n <= 1 || attach == 0) return Graph::FromEdges(n, {});
+  attach = std::min(attach, n - 1);
+  edges.reserve(static_cast<size_t>(n) * attach);
+
+  // `endpoints` holds every edge endpoint once; sampling a uniform element
+  // is degree-proportional sampling.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(2 * static_cast<size_t>(n) * attach);
+
+  // Seed: a small clique on the first attach+1 vertices.
+  for (VertexId u = 0; u <= attach; ++u) {
+    for (VertexId v = u + 1; v <= attach; ++v) {
+      edges.push_back(Edge{u, v});
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  std::vector<VertexId> targets(attach);
+  for (VertexId u = attach + 1; u < n; ++u) {
+    // Draw `attach` distinct degree-proportional targets.
+    size_t got = 0;
+    while (got < attach) {
+      VertexId t = endpoints[rng.NextBounded(endpoints.size())];
+      bool dup = false;
+      for (size_t i = 0; i < got; ++i) {
+        if (targets[i] == t) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) targets[got++] = t;
+    }
+    for (VertexId t : targets) {
+      edges.push_back(graph::MakeEdge(u, t));
+      endpoints.push_back(u);
+      endpoints.push_back(t);
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+}  // namespace esd::gen

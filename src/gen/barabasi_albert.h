@@ -1,0 +1,18 @@
+#ifndef ESD_GEN_BARABASI_ALBERT_H_
+#define ESD_GEN_BARABASI_ALBERT_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace esd::gen {
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `attach` existing vertices chosen proportionally to degree. Produces a
+/// power-law degree distribution with pronounced hubs — the shape of the
+/// paper's Youtube dataset. Requires attach >= 1; n > attach.
+graph::Graph BarabasiAlbert(uint32_t n, uint32_t attach, uint64_t seed);
+
+}  // namespace esd::gen
+
+#endif  // ESD_GEN_BARABASI_ALBERT_H_

@@ -1,0 +1,24 @@
+#ifndef ESD_GEN_CHUNG_LU_H_
+#define ESD_GEN_CHUNG_LU_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace esd::gen {
+
+/// Chung–Lu random graph with a given expected-degree sequence: edge (u,v)
+/// appears with probability min(1, w_u w_v / Σw). Implemented with the
+/// sorted-weight skipping technique, O(n + m) in expectation — the
+/// standard degree-preserving null model for skewed graphs.
+graph::Graph ChungLu(const std::vector<double>& weights, uint64_t seed);
+
+/// Convenience: Chung–Lu with a truncated power-law weight sequence
+/// w_i = w_min * (n/(i+1))^(1/(gamma-1)), capped at `w_max`. gamma > 2.
+graph::Graph ChungLuPowerLaw(uint32_t n, double gamma, double w_min,
+                             double w_max, uint64_t seed);
+
+}  // namespace esd::gen
+
+#endif  // ESD_GEN_CHUNG_LU_H_

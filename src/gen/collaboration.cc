@@ -1,0 +1,132 @@
+#include "gen/collaboration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace esd::gen {
+
+using graph::Edge;
+using graph::Graph;
+using graph::VertexId;
+
+CollaborationGraph GenerateCollaboration(const CollaborationParams& params,
+                                         uint64_t seed) {
+  util::Rng rng(seed);
+  CollaborationGraph out;
+
+  const uint32_t reserved =
+      params.num_bridge_pairs *
+          (2 + params.contexts_per_bridge * params.authors_per_context) +
+      params.num_barbells * 2 * params.barbell_clique_size;
+  const uint32_t n = params.num_authors;
+  const uint32_t background = n > reserved ? n - reserved : 0;
+  const uint32_t comms = std::max(1u, params.num_communities);
+  const uint32_t comm_size = std::max(1u, background / comms);
+
+  out.community.resize(n, comms);  // reserved authors get their own label
+  for (VertexId a = 0; a < background; ++a) {
+    out.community[a] = std::min(a / comm_size, comms - 1);
+  }
+  out.author_names.resize(n);
+  for (VertexId a = 0; a < n; ++a) {
+    out.author_names[a] = "Author_" + std::to_string(a);
+  }
+
+  graph::GraphBuilder builder(n);
+
+  // Skewed (Zipf-like) author pick within a community: low offsets are the
+  // community's prolific authors.
+  auto pick_author = [&](uint32_t community) {
+    double u = rng.NextDouble();
+    double exponent = 1.0 + 3.0 * params.productivity_skew;
+    uint32_t offset =
+        static_cast<uint32_t>(std::pow(u, exponent) * comm_size);
+    offset = std::min(offset, comm_size - 1);
+    return std::min(community * comm_size + offset, background - 1);
+  };
+  auto add_paper = [&](const std::vector<VertexId>& authors) {
+    for (size_t i = 0; i < authors.size(); ++i) {
+      for (size_t j = i + 1; j < authors.size(); ++j) {
+        if (authors[i] != authors[j]) builder.AddEdge(authors[i], authors[j]);
+      }
+    }
+  };
+
+  // Background papers.
+  std::vector<VertexId> authors;
+  if (background > comms) {
+    for (uint32_t p = 0; p < params.num_papers; ++p) {
+      uint32_t c1 = static_cast<uint32_t>(rng.NextBounded(comms));
+      uint32_t c2 = rng.NextBool(params.intra_community_paper_p)
+                        ? c1
+                        : static_cast<uint32_t>(rng.NextBounded(comms));
+      uint32_t count = params.min_authors_per_paper +
+                       static_cast<uint32_t>(rng.NextBounded(
+                           params.max_authors_per_paper -
+                           params.min_authors_per_paper + 1));
+      authors.clear();
+      for (uint32_t i = 0; i < count; ++i) {
+        authors.push_back(pick_author(i % 2 == 0 ? c1 : c2));
+      }
+      add_paper(authors);
+    }
+  }
+
+  // Planted bridges: a prolific pair co-authoring with small groups from
+  // `contexts_per_bridge` disjoint communities.
+  VertexId next_reserved = background;
+  for (uint32_t b = 0; b < params.num_bridge_pairs; ++b) {
+    VertexId a1 = next_reserved++;
+    VertexId a2 = next_reserved++;
+    out.author_names[a1] = "BridgeA_" + std::to_string(b);
+    out.author_names[a2] = "BridgeB_" + std::to_string(b);
+    out.planted_bridges.push_back(graph::MakeEdge(a1, a2));
+    for (uint32_t ctx = 0; ctx < params.contexts_per_bridge; ++ctx) {
+      uint32_t c = (b * params.contexts_per_bridge + ctx) % comms;
+      authors.assign({a1, a2});
+      for (uint32_t i = 0; i < params.authors_per_context; ++i) {
+        out.community[next_reserved] = c;  // context group lives in area c
+        authors.push_back(next_reserved++);
+      }
+      add_paper(authors);
+      // Tie each context group loosely into its background community so the
+      // bridge members are not an isolated island.
+      if (background > comms) builder.AddEdge(authors[2], pick_author(c));
+    }
+  }
+
+  // Planted barbells: two reserved cliques joined by a single edge; one
+  // side is tethered to the background so inter-blob traffic crosses the
+  // joint (the weak tie betweenness loves).
+  for (uint32_t b = 0; b < params.num_barbells; ++b) {
+    std::vector<VertexId> blob_a, blob_b;
+    uint32_t ca = (2 * b) % comms;
+    uint32_t cb = (2 * b + 1) % comms;
+    for (uint32_t i = 0; i < params.barbell_clique_size; ++i) {
+      out.community[next_reserved] = ca;
+      blob_a.push_back(next_reserved++);
+    }
+    for (uint32_t i = 0; i < params.barbell_clique_size; ++i) {
+      out.community[next_reserved] = cb;
+      blob_b.push_back(next_reserved++);
+    }
+    add_paper(blob_a);
+    add_paper(blob_b);
+    out.author_names[blob_a[0]] = "BarbellA_" + std::to_string(b);
+    out.author_names[blob_b[0]] = "BarbellB_" + std::to_string(b);
+    builder.AddEdge(blob_a[0], blob_b[0]);
+    out.planted_barbells.push_back(graph::MakeEdge(blob_a[0], blob_b[0]));
+    if (background > comms) {
+      builder.AddEdge(blob_a[1],
+                      pick_author(static_cast<uint32_t>(rng.NextBounded(comms))));
+    }
+  }
+
+  out.graph = builder.Build();
+  return out;
+}
+
+}  // namespace esd::gen

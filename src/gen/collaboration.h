@@ -1,0 +1,56 @@
+#ifndef ESD_GEN_COLLABORATION_H_
+#define ESD_GEN_COLLABORATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace esd::gen {
+
+/// Parameters of the DBLP-like co-authorship generator.
+struct CollaborationParams {
+  uint32_t num_authors = 20000;
+  uint32_t num_communities = 40;   // research areas
+  uint32_t num_papers = 30000;     // each paper cliques its author set
+  uint32_t min_authors_per_paper = 2;
+  uint32_t max_authors_per_paper = 5;
+  /// Probability that a paper draws all its authors from one community
+  /// (the rest mix two communities, creating ordinary cross links).
+  double intra_community_paper_p = 0.92;
+  /// Zipf-ish skew of author productivity (higher = more superstars).
+  double productivity_skew = 0.8;
+
+  /// Planted high-ESD "bridge" pairs: two prolific co-authors who write
+  /// papers with small, mutually unrelated groups from
+  /// `contexts_per_bridge` different communities — their common
+  /// neighborhood splits into that many components (the paper's Fig. 12
+  /// (a)/(b) shape).
+  uint32_t num_bridge_pairs = 5;
+  uint32_t contexts_per_bridge = 8;
+  uint32_t authors_per_context = 3;
+
+  /// Planted barbell: two cliques joined by a single co-authorship — the
+  /// weak-tie shape that betweenness (BT) favors (Fig. 12 (e)/(f)).
+  uint32_t num_barbells = 3;
+  uint32_t barbell_clique_size = 12;
+};
+
+/// A generated co-authorship network with ground-truth annotations.
+struct CollaborationGraph {
+  graph::Graph graph;
+  std::vector<uint32_t> community;             // per author
+  std::vector<graph::Edge> planted_bridges;    // expected ESD winners
+  std::vector<graph::Edge> planted_barbells;   // expected BT winners
+  std::vector<std::string> author_names;       // synthetic labels
+};
+
+/// Generates the network. Every paper contributes a clique on its authors,
+/// so the graph is triangle-rich like real co-authorship data.
+CollaborationGraph GenerateCollaboration(const CollaborationParams& params,
+                                         uint64_t seed);
+
+}  // namespace esd::gen
+
+#endif  // ESD_GEN_COLLABORATION_H_

@@ -1,0 +1,105 @@
+#include "gen/datasets.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "gen/barabasi_albert.h"
+#include "gen/collaboration.h"
+#include "gen/holme_kim.h"
+#include "gen/rmat.h"
+#include "graph/builder.h"
+#include "util/rng.h"
+#include "graph/core_decomposition.h"
+
+namespace esd::gen {
+
+using graph::Graph;
+
+namespace {
+
+// Adds a celebrity layer to a social base graph: `hubs` new vertices that
+// form a clique (celebrities know each other) and each follow-connect to
+// `followers` random users. Real social graphs (Pokec d_max=14854,
+// LiveJournal d_max=14815, Youtube d_max=28754) owe their degree tails to
+// such vertices, and hub-hub edges own the large, sparsely-connected
+// common neighborhoods that separate the BFS index builder from the
+// 4-clique one.
+Graph WithCelebrityHubs(const Graph& base, uint32_t hubs, uint32_t followers,
+                        uint64_t seed) {
+  util::Rng rng(seed);
+  const graph::VertexId n = base.NumVertices();
+  graph::GraphBuilder b(n + hubs);
+  for (const graph::Edge& e : base.Edges()) b.AddEdge(e.u, e.v);
+  for (uint32_t h = 0; h < hubs; ++h) {
+    graph::VertexId hub = n + h;
+    for (uint32_t g2 = h + 1; g2 < hubs; ++g2) b.AddEdge(hub, n + g2);
+    for (uint32_t f = 0; f < followers; ++f) {
+      b.AddEdge(hub, static_cast<graph::VertexId>(rng.NextBounded(n)));
+    }
+  }
+  return b.Build();
+}
+
+}  // namespace
+
+std::vector<std::string> StandardDatasetNames() {
+  return {"youtube-s", "wikitalk-s", "dblp-s", "pokec-s", "livejournal-s"};
+}
+
+Dataset LoadStandardDataset(const std::string& name, double scale) {
+  Dataset out;
+  out.name = name;
+  auto scaled = [scale](uint32_t base) {
+    return static_cast<uint32_t>(base * scale + 0.5);
+  };
+  if (name == "youtube-s") {
+    // Youtube: hub-heavy, sparse (m/n ≈ 2.6), modest clustering.
+    out.graph = WithCelebrityHubs(HolmeKim(scaled(11000), 3, 0.35,
+                                           /*seed=*/0xA001),
+                                  6, scaled(900), 0xB001);
+  } else if (name == "wikitalk-s") {
+    // WikiTalk: extreme degree skew, very sparse tail (m/n ≈ 1.9).
+    RmatParams p;
+    p.scale = 14;
+    while ((1u << p.scale) < scaled(16384)) ++p.scale;
+    p.edge_factor = 2.6;
+    p.a = 0.57;
+    p.b = 0.19;
+    p.c = 0.19;
+    p.d = 0.05;
+    out.graph = Rmat(p, /*seed=*/0xA002);
+  } else if (name == "dblp-s") {
+    // DBLP: clique-rich co-authorship communities (m/n ≈ 4.5).
+    CollaborationParams p;
+    p.num_authors = scaled(18000);
+    p.num_communities = 40;
+    p.num_papers = scaled(26000);
+    out.graph = GenerateCollaboration(p, /*seed=*/0xA003).graph;
+  } else if (name == "pokec-s") {
+    // Pokec: dense social graph (m/n ≈ 13.7), moderate clustering, small
+    // degeneracy, strong celebrity tail (paper d_max=14854).
+    out.graph = WithCelebrityHubs(HolmeKim(scaled(9000), 11, 0.25,
+                                           /*seed=*/0xA004),
+                                  15, scaled(1200), 0xB004);
+  } else if (name == "livejournal-s") {
+    // LiveJournal: biggest graph, high clustering and degeneracy
+    // (m/n ≈ 8.7), celebrity tail (paper d_max=14815).
+    out.graph = WithCelebrityHubs(HolmeKim(scaled(14000), 8, 0.55,
+                                           /*seed=*/0xA005),
+                                  12, scaled(1400), 0xB005);
+  } else {
+    assert(false && "unknown dataset name");
+  }
+  return out;
+}
+
+DatasetStats ComputeStats(const Graph& g) {
+  DatasetStats s;
+  s.n = g.NumVertices();
+  s.m = g.NumEdges();
+  s.max_degree = g.MaxDegree();
+  s.degeneracy = graph::ComputeCores(g).degeneracy;
+  return s;
+}
+
+}  // namespace esd::gen

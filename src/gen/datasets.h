@@ -1,0 +1,40 @@
+#ifndef ESD_GEN_DATASETS_H_
+#define ESD_GEN_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace esd::gen {
+
+/// A named benchmark dataset. These are deterministic synthetic stand-ins
+/// for the paper's five SNAP graphs (Table I), scaled to single-core
+/// laptop size; see DESIGN.md §2 for the substitution rationale.
+struct Dataset {
+  std::string name;
+  graph::Graph graph;
+};
+
+/// Names of the five Table-I stand-ins, in the paper's order:
+/// youtube-s, wikitalk-s, dblp-s, pokec-s, livejournal-s.
+std::vector<std::string> StandardDatasetNames();
+
+/// Generates a standard dataset by name. `scale` multiplies the vertex
+/// budget (1.0 ≈ 1/100 of the paper's graphs; raise it on bigger hardware).
+/// Unknown names abort in debug builds and return an empty graph otherwise.
+Dataset LoadStandardDataset(const std::string& name, double scale = 1.0);
+
+/// Statistics reported in the paper's Table I.
+struct DatasetStats {
+  uint64_t n = 0;
+  uint64_t m = 0;
+  uint32_t max_degree = 0;
+  uint32_t degeneracy = 0;
+};
+DatasetStats ComputeStats(const graph::Graph& g);
+
+}  // namespace esd::gen
+
+#endif  // ESD_GEN_DATASETS_H_

@@ -1,0 +1,43 @@
+#include "gen/erdos_renyi.h"
+
+#include <algorithm>
+
+#include "util/flat_map.h"
+#include "util/rng.h"
+
+namespace esd::gen {
+
+using graph::Edge;
+using graph::Graph;
+using graph::VertexId;
+
+Graph ErdosRenyiGnm(uint32_t n, uint64_t m, uint64_t seed) {
+  util::Rng rng(seed);
+  uint64_t max_edges = n < 2 ? 0 : static_cast<uint64_t>(n) * (n - 1) / 2;
+  m = std::min(m, max_edges);
+  util::FlatSet<uint64_t> seen(m);
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  while (edges.size() < m) {
+    VertexId a = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId b = static_cast<VertexId>(rng.NextBounded(n));
+    if (a == b) continue;
+    Edge e = graph::MakeEdge(a, b);
+    uint64_t key = (static_cast<uint64_t>(e.u) << 32) | e.v;
+    if (seen.Insert(key)) edges.push_back(e);
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+Graph ErdosRenyiGnp(uint32_t n, double p, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.NextBool(p)) edges.push_back(Edge{u, v});
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+}  // namespace esd::gen

@@ -1,0 +1,20 @@
+#ifndef ESD_GEN_ERDOS_RENYI_H_
+#define ESD_GEN_ERDOS_RENYI_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace esd::gen {
+
+/// G(n, m): exactly `m` distinct uniform random edges (self-loop free).
+/// `m` is clamped to the number of possible edges.
+graph::Graph ErdosRenyiGnm(uint32_t n, uint64_t m, uint64_t seed);
+
+/// G(n, p): every edge independently with probability p. O(n²) — intended
+/// for small test graphs.
+graph::Graph ErdosRenyiGnp(uint32_t n, double p, uint64_t seed);
+
+}  // namespace esd::gen
+
+#endif  // ESD_GEN_ERDOS_RENYI_H_

@@ -1,0 +1,63 @@
+#include "gen/holme_kim.h"
+
+#include <algorithm>
+
+#include "util/flat_map.h"
+#include "util/rng.h"
+
+namespace esd::gen {
+
+using graph::Edge;
+using graph::Graph;
+using graph::VertexId;
+
+Graph HolmeKim(uint32_t n, uint32_t attach, double triad_p, uint64_t seed) {
+  util::Rng rng(seed);
+  if (n <= 1 || attach == 0) return Graph::FromEdges(n, {});
+  attach = std::min(attach, n - 1);
+
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(n) * attach);
+  std::vector<VertexId> endpoints;  // degree-proportional sampling pool
+  std::vector<std::vector<VertexId>> adj(n);
+
+  auto add_edge = [&](VertexId a, VertexId b) {
+    edges.push_back(graph::MakeEdge(a, b));
+    endpoints.push_back(a);
+    endpoints.push_back(b);
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  };
+
+  for (VertexId u = 0; u <= attach; ++u) {
+    for (VertexId v = u + 1; v <= attach; ++v) add_edge(u, v);
+  }
+
+  util::FlatSet<VertexId> linked;
+  for (VertexId u = attach + 1; u < n; ++u) {
+    linked.Clear();
+    VertexId prev_target = 0;
+    bool have_prev = false;
+    uint32_t made = 0;
+    uint32_t guard = 0;
+    while (made < attach && guard < 50 * attach) {
+      ++guard;
+      VertexId t;
+      if (have_prev && rng.NextBool(triad_p) && !adj[prev_target].empty()) {
+        // Triad step: attach to a random neighbor of the previous target.
+        t = adj[prev_target][rng.NextBounded(adj[prev_target].size())];
+      } else {
+        t = endpoints[rng.NextBounded(endpoints.size())];
+      }
+      if (t == u || linked.Contains(t)) continue;
+      linked.Insert(t);
+      add_edge(u, t);
+      prev_target = t;
+      have_prev = true;
+      ++made;
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+}  // namespace esd::gen

@@ -1,0 +1,20 @@
+#ifndef ESD_GEN_HOLME_KIM_H_
+#define ESD_GEN_HOLME_KIM_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace esd::gen {
+
+/// Holme–Kim "powerlaw cluster" model: preferential attachment where each
+/// subsequent link of a new vertex closes a triangle with probability
+/// `triad_p` (attaching to a random neighbor of the previous target).
+/// Produces power-law degrees *and* high clustering — the shape of the
+/// paper's Pokec/LiveJournal social graphs. Requires attach >= 1.
+graph::Graph HolmeKim(uint32_t n, uint32_t attach, double triad_p,
+                      uint64_t seed);
+
+}  // namespace esd::gen
+
+#endif  // ESD_GEN_HOLME_KIM_H_

@@ -1,0 +1,31 @@
+#include "gen/planted_partition.h"
+
+#include "util/rng.h"
+
+namespace esd::gen {
+
+using graph::Edge;
+using graph::Graph;
+using graph::VertexId;
+
+PlantedPartitionResult PlantedPartition(uint32_t num_communities,
+                                        uint32_t community_size, double p_in,
+                                        double p_out, uint64_t seed) {
+  util::Rng rng(seed);
+  const VertexId n = num_communities * community_size;
+  PlantedPartitionResult out;
+  out.community.resize(n);
+  for (VertexId v = 0; v < n; ++v) out.community[v] = v / community_size;
+
+  std::vector<Edge> edges;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      double p = out.community[u] == out.community[v] ? p_in : p_out;
+      if (rng.NextBool(p)) edges.push_back(Edge{u, v});
+    }
+  }
+  out.graph = Graph::FromEdges(n, std::move(edges));
+  return out;
+}
+
+}  // namespace esd::gen

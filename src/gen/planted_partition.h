@@ -1,0 +1,26 @@
+#ifndef ESD_GEN_PLANTED_PARTITION_H_
+#define ESD_GEN_PLANTED_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace esd::gen {
+
+/// Planted-partition (stochastic block) graph with equal-size communities.
+struct PlantedPartitionResult {
+  graph::Graph graph;
+  std::vector<uint32_t> community;  // per vertex
+};
+
+/// `num_communities` blocks of `community_size` vertices; intra-community
+/// edges with probability p_in, inter with p_out. O(n²) sampling — sized
+/// for tests and case studies, not for million-vertex graphs.
+PlantedPartitionResult PlantedPartition(uint32_t num_communities,
+                                        uint32_t community_size, double p_in,
+                                        double p_out, uint64_t seed);
+
+}  // namespace esd::gen
+
+#endif  // ESD_GEN_PLANTED_PARTITION_H_

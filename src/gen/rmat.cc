@@ -1,0 +1,40 @@
+#include "gen/rmat.h"
+
+#include "util/rng.h"
+
+namespace esd::gen {
+
+using graph::Edge;
+using graph::Graph;
+using graph::VertexId;
+
+Graph Rmat(const RmatParams& params, uint64_t seed) {
+  util::Rng rng(seed);
+  const uint32_t n = 1u << params.scale;
+  const uint64_t target =
+      static_cast<uint64_t>(params.edge_factor * static_cast<double>(n));
+  std::vector<Edge> edges;
+  edges.reserve(target);
+  const double ab = params.a + params.b;
+  const double abc = ab + params.c;
+  for (uint64_t i = 0; i < target; ++i) {
+    uint32_t u = 0, v = 0;
+    for (uint32_t bit = 0; bit < params.scale; ++bit) {
+      double r = rng.NextDouble();
+      if (r < params.a) {
+        // upper-left: no bits set
+      } else if (r < ab) {
+        v |= 1u << bit;
+      } else if (r < abc) {
+        u |= 1u << bit;
+      } else {
+        u |= 1u << bit;
+        v |= 1u << bit;
+      }
+    }
+    if (u != v) edges.push_back(graph::MakeEdge(u, v));
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+}  // namespace esd::gen

@@ -1,0 +1,26 @@
+#ifndef ESD_GEN_RMAT_H_
+#define ESD_GEN_RMAT_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace esd::gen {
+
+/// R-MAT recursive matrix generator parameters. Probabilities must sum to
+/// (approximately) 1; the classic skewed setting a=0.57, b=0.19, c=0.19,
+/// d=0.05 mimics the extreme hub structure of communication graphs like
+/// the paper's WikiTalk dataset.
+struct RmatParams {
+  uint32_t scale = 14;        // n = 2^scale vertices
+  double edge_factor = 2.0;   // m ≈ edge_factor * n
+  double a = 0.57, b = 0.19, c = 0.19, d = 0.05;
+};
+
+/// Generates an undirected simple R-MAT graph (self-loops dropped,
+/// duplicates collapsed, so the final m is somewhat below the target).
+graph::Graph Rmat(const RmatParams& params, uint64_t seed);
+
+}  // namespace esd::gen
+
+#endif  // ESD_GEN_RMAT_H_

@@ -1,0 +1,44 @@
+#include "gen/watts_strogatz.h"
+
+#include "util/flat_map.h"
+#include "util/rng.h"
+
+namespace esd::gen {
+
+using graph::Edge;
+using graph::Graph;
+using graph::VertexId;
+
+Graph WattsStrogatz(uint32_t n, uint32_t k, double rewire_p, uint64_t seed) {
+  util::Rng rng(seed);
+  if (n < 3 || k < 2) return Graph::FromEdges(n, {});
+  uint32_t half = std::min(k / 2, (n - 1) / 2);
+  std::vector<Edge> edges;
+  util::FlatSet<uint64_t> present(static_cast<size_t>(n) * half);
+  auto key = [](Edge e) {
+    return (static_cast<uint64_t>(e.u) << 32) | e.v;
+  };
+  for (VertexId u = 0; u < n; ++u) {
+    for (uint32_t d = 1; d <= half; ++d) {
+      Edge e = graph::MakeEdge(u, (u + d) % n);
+      if (present.Insert(key(e))) edges.push_back(e);
+    }
+  }
+  // Rewire: replace the far endpoint with a uniform random vertex.
+  for (Edge& e : edges) {
+    if (!rng.NextBool(rewire_p)) continue;
+    for (int tries = 0; tries < 16; ++tries) {
+      VertexId w = static_cast<VertexId>(rng.NextBounded(n));
+      if (w == e.u) continue;
+      Edge cand = graph::MakeEdge(e.u, w);
+      if (present.Contains(key(cand))) continue;
+      present.Erase(key(e));
+      present.Insert(key(cand));
+      e = cand;
+      break;
+    }
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+}  // namespace esd::gen

@@ -1,0 +1,18 @@
+#ifndef ESD_GEN_WATTS_STROGATZ_H_
+#define ESD_GEN_WATTS_STROGATZ_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace esd::gen {
+
+/// Watts–Strogatz small world: ring lattice where each vertex connects to
+/// its `k` nearest neighbors (k rounded down to even), each edge rewired
+/// with probability `rewire_p`. High clustering, short paths.
+graph::Graph WattsStrogatz(uint32_t n, uint32_t k, double rewire_p,
+                           uint64_t seed);
+
+}  // namespace esd::gen
+
+#endif  // ESD_GEN_WATTS_STROGATZ_H_

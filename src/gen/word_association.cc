@@ -1,0 +1,154 @@
+#include "gen/word_association.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+#include "util/flat_map.h"
+#include "util/rng.h"
+
+namespace esd::gen {
+
+using graph::Edge;
+using graph::Graph;
+using graph::VertexId;
+
+namespace {
+
+/// The curated lexicon: polysemous pairs with their sense clusters,
+/// modeled on the paper's Fig. 13 examples.
+std::vector<PolysemousPair> CuratedPairs() {
+  return {
+      {"bank",
+       "money",
+       {
+           {"account", "check", "deposit", "save", "teller", "vault"},
+           {"loan", "mortgage", "federal"},
+           {"rob", "steal"},
+           {"rich", "wealth"},
+           {"bill", "cash"},
+           {"river", "shore"},
+       }},
+      {"wood",
+       "house",
+       {
+           {"cabin", "log", "lodge"},
+           {"door", "floor", "frame"},
+           {"fire", "stove"},
+           {"forest", "tree"},
+           {"build", "carpenter"},
+       }},
+      {"light",
+       "fire",
+       {
+           {"match", "candle", "flame"},
+           {"lamp", "bulb"},
+           {"sun", "bright"},
+           {"camp", "smoke"},
+       }},
+      {"cold",
+       "water",
+       {
+           {"ice", "freeze", "frost"},
+           {"shower", "bath"},
+           {"winter", "snow"},
+           {"drink", "glass"},
+       }},
+  };
+}
+
+}  // namespace
+
+VertexId WordAssociationGraph::Find(const std::string& word) const {
+  for (VertexId v = 0; v < words.size(); ++v) {
+    if (words[v] == word) return v;
+  }
+  return UINT32_MAX;
+}
+
+WordAssociationGraph GenerateWordAssociation(const WordAssociationParams& p,
+                                             uint64_t seed) {
+  util::Rng rng(seed);
+  WordAssociationGraph out;
+  out.ground_truth = CuratedPairs();
+
+  // Intern curated words first (words may repeat across pairs/senses).
+  auto intern = [&out](const std::string& w) -> VertexId {
+    for (VertexId v = 0; v < out.words.size(); ++v) {
+      if (out.words[v] == w) return v;
+    }
+    out.words.push_back(w);
+    return static_cast<VertexId>(out.words.size() - 1);
+  };
+
+  struct SenseClique {
+    std::vector<VertexId> members;
+  };
+  std::vector<Edge> edges;
+  std::vector<VertexId> sense_words;  // for noise attachment
+  for (const PolysemousPair& pair : out.ground_truth) {
+    VertexId a = intern(pair.word_a);
+    VertexId b = intern(pair.word_b);
+    edges.push_back(graph::MakeEdge(a, b));
+    out.planted_pairs.push_back(graph::MakeEdge(a, b));
+    for (const auto& sense : pair.senses) {
+      std::vector<VertexId> members;
+      for (const std::string& w : sense) members.push_back(intern(w));
+      // Every sense word associates with both pair words and with the rest
+      // of its sense.
+      for (size_t i = 0; i < members.size(); ++i) {
+        edges.push_back(graph::MakeEdge(a, members[i]));
+        edges.push_back(graph::MakeEdge(b, members[i]));
+        sense_words.push_back(members[i]);
+        for (size_t j = i + 1; j < members.size(); ++j) {
+          edges.push_back(graph::MakeEdge(members[i], members[j]));
+        }
+      }
+    }
+  }
+
+  // Background vocabulary: generic words in a clustered scale-free blob.
+  const VertexId curated = static_cast<VertexId>(out.words.size());
+  for (uint32_t i = 0; i < p.background_words; ++i) {
+    out.words.push_back("word" + std::to_string(i));
+  }
+  const VertexId n = static_cast<VertexId>(out.words.size());
+
+  // Holme–Kim-style attachment over the background block.
+  std::vector<VertexId> endpoints;
+  if (p.background_words > 2 && p.background_attach > 0) {
+    uint32_t attach = std::min(p.background_attach, p.background_words - 1);
+    for (VertexId u = curated; u <= curated + attach; ++u) {
+      for (VertexId v = u + 1; v <= curated + attach; ++v) {
+        edges.push_back(Edge{u, v});
+        endpoints.push_back(u);
+        endpoints.push_back(v);
+      }
+    }
+    for (VertexId u = curated + attach + 1; u < n; ++u) {
+      for (uint32_t i = 0; i < attach; ++i) {
+        VertexId t = endpoints[rng.NextBounded(endpoints.size())];
+        if (t == u) continue;
+        edges.push_back(graph::MakeEdge(u, t));
+        endpoints.push_back(u);
+        endpoints.push_back(t);
+      }
+    }
+  }
+
+  // Noise: loose associations from sense words into the background, so the
+  // curated structure is embedded rather than an island. These do not touch
+  // the planted pairs' common neighborhoods.
+  if (!endpoints.empty()) {
+    for (VertexId w : sense_words) {
+      for (uint32_t i = 0; i < p.noise_edges_per_sense_word; ++i) {
+        VertexId t = endpoints[rng.NextBounded(endpoints.size())];
+        edges.push_back(graph::MakeEdge(w, t));
+      }
+    }
+  }
+
+  out.graph = Graph::FromEdges(n, std::move(edges));
+  return out;
+}
+
+}  // namespace esd::gen

@@ -1,0 +1,53 @@
+#ifndef ESD_GEN_WORD_ASSOCIATION_H_
+#define ESD_GEN_WORD_ASSOCIATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace esd::gen {
+
+/// A planted polysemous word pair together with its sense clusters — the
+/// ground truth of the word-association case study (Exp-8 / Fig. 13).
+struct PolysemousPair {
+  std::string word_a;
+  std::string word_b;
+  /// Each inner vector is one "sense": words all associated with both
+  /// members of the pair and with each other, but not with other senses.
+  std::vector<std::vector<std::string>> senses;
+};
+
+/// A word-association network with vertex labels.
+struct WordAssociationGraph {
+  graph::Graph graph;
+  std::vector<std::string> words;            // per vertex
+  std::vector<graph::Edge> planted_pairs;    // the polysemous pairs
+  std::vector<PolysemousPair> ground_truth;  // parallel to planted_pairs
+
+  /// Vertex id of `word`, or UINT32_MAX if absent.
+  graph::VertexId Find(const std::string& word) const;
+};
+
+/// Parameters for the synthetic USF-like free-association network.
+struct WordAssociationParams {
+  /// Background vocabulary beyond the curated lexicon.
+  uint32_t background_words = 4500;
+  /// Mean associations per background word (Holme–Kim attachment).
+  uint32_t background_attach = 10;
+  double background_triad_p = 0.4;
+  /// Random noise associations from sense words into the background.
+  uint32_t noise_edges_per_sense_word = 2;
+};
+
+/// Builds the network: an embedded curated lexicon plants the paper's
+/// "bank–money" and "wood–house" style polysemous pairs (each sense is a
+/// clique hanging off both pair words), grafted onto a Holme–Kim background
+/// of generic words.
+WordAssociationGraph GenerateWordAssociation(const WordAssociationParams& p,
+                                             uint64_t seed);
+
+}  // namespace esd::gen
+
+#endif  // ESD_GEN_WORD_ASSOCIATION_H_

@@ -1,0 +1,4 @@
+#include "graph/builder.h"
+
+// GraphBuilder is header-only; this file anchors the library target.
+namespace esd::graph {}

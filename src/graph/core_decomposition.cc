@@ -1,0 +1,73 @@
+#include "graph/core_decomposition.h"
+
+#include <algorithm>
+
+namespace esd::graph {
+
+CoreDecomposition ComputeCores(const Graph& g) {
+  const VertexId n = g.NumVertices();
+  CoreDecomposition out;
+  out.core.assign(n, 0);
+  out.order.reserve(n);
+  if (n == 0) return out;
+
+  // Bucket sort vertices by degree.
+  const uint32_t md = g.MaxDegree();
+  std::vector<uint32_t> deg(n);
+  std::vector<uint32_t> bin(md + 2, 0);
+  for (VertexId u = 0; u < n; ++u) {
+    deg[u] = g.Degree(u);
+    ++bin[deg[u]];
+  }
+  uint32_t start = 0;
+  for (uint32_t d = 0; d <= md; ++d) {
+    uint32_t cnt = bin[d];
+    bin[d] = start;
+    start += cnt;
+  }
+  std::vector<VertexId> vert(n);  // vertices sorted by current degree
+  std::vector<uint32_t> pos(n);   // position of each vertex in vert
+  for (VertexId u = 0; u < n; ++u) {
+    pos[u] = bin[deg[u]];
+    vert[pos[u]] = u;
+    ++bin[deg[u]];
+  }
+  // Restore bin to bucket starts.
+  for (uint32_t d = md; d >= 1; --d) bin[d] = bin[d - 1];
+  bin[0] = 0;
+
+  // Peel.
+  for (uint32_t i = 0; i < n; ++i) {
+    VertexId u = vert[i];
+    out.core[u] = deg[u];
+    out.degeneracy = std::max(out.degeneracy, deg[u]);
+    out.order.push_back(u);
+    for (VertexId w : g.Neighbors(u)) {
+      if (deg[w] > deg[u]) {
+        // Swap w to the front of its bucket, then shrink its degree.
+        uint32_t dw = deg[w];
+        uint32_t pw = pos[w];
+        uint32_t pfirst = bin[dw];
+        VertexId first = vert[pfirst];
+        if (first != w) {
+          vert[pw] = first;
+          pos[first] = pw;
+          vert[pfirst] = w;
+          pos[w] = pfirst;
+        }
+        ++bin[dw];
+        --deg[w];
+      }
+    }
+  }
+  return out;
+}
+
+uint32_t ArboricityLowerBound(const Graph& g) {
+  if (g.NumVertices() <= 1) return 0;
+  uint64_t m = g.NumEdges();
+  uint64_t n = g.NumVertices();
+  return static_cast<uint32_t>((m + n - 2) / (n - 1));
+}
+
+}  // namespace esd::graph

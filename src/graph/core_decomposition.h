@@ -1,0 +1,32 @@
+#ifndef ESD_GRAPH_CORE_DECOMPOSITION_H_
+#define ESD_GRAPH_CORE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace esd::graph {
+
+/// Result of the k-core peeling decomposition.
+struct CoreDecomposition {
+  /// Core number per vertex.
+  std::vector<uint32_t> core;
+  /// Degeneracy δ = max core number (0 for edgeless graphs). The paper's
+  /// Table I reports δ per dataset; arboricity satisfies α ≤ δ ≤ 2α - 1,
+  /// so δ doubles as the practical stand-in for α in the complexity bounds.
+  uint32_t degeneracy = 0;
+  /// A degeneracy ordering: each vertex has ≤ δ neighbors later in it.
+  std::vector<VertexId> order;
+};
+
+/// Linear-time bucket peeling (Matula–Beck). O(n + m).
+CoreDecomposition ComputeCores(const Graph& g);
+
+/// Lower bound on the arboricity from Nash-Williams' formula applied to the
+/// whole graph: ceil(m / (n - 1)); combined with α ≤ δ this brackets α.
+uint32_t ArboricityLowerBound(const Graph& g);
+
+}  // namespace esd::graph
+
+#endif  // ESD_GRAPH_CORE_DECOMPOSITION_H_

@@ -1,0 +1,67 @@
+#ifndef ESD_GRAPH_DYNAMIC_GRAPH_H_
+#define ESD_GRAPH_DYNAMIC_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace esd::graph {
+
+/// Mutable simple undirected graph backed by per-vertex sorted neighbor
+/// vectors — the substrate of the index maintenance algorithms (Section V).
+///
+/// Insert/erase of an edge costs O(d(u) + d(v)); membership tests and
+/// common-neighbor merges are binary search / linear merges over the sorted
+/// lists. Vertices are fixed at construction (the paper treats vertex
+/// updates as edge-update sequences).
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+
+  /// An edgeless graph on n vertices.
+  explicit DynamicGraph(VertexId num_vertices) : adj_(num_vertices) {}
+
+  /// Copies a static graph.
+  explicit DynamicGraph(const Graph& g);
+
+  VertexId NumVertices() const { return static_cast<VertexId>(adj_.size()); }
+  uint64_t NumEdges() const { return num_edges_; }
+
+  uint32_t Degree(VertexId u) const {
+    return static_cast<uint32_t>(adj_[u].size());
+  }
+
+  /// Sorted neighbors of u. Invalidated by any mutation.
+  std::span<const VertexId> Neighbors(VertexId u) const { return adj_[u]; }
+
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Appends an isolated vertex and returns its id (the paper treats
+  /// vertex updates as edge-update sequences; this provides the vertex
+  /// half).
+  VertexId AddVertex() {
+    adj_.emplace_back();
+    return static_cast<VertexId>(adj_.size() - 1);
+  }
+
+  /// Inserts {u, v}; returns false if it already exists or u == v.
+  bool InsertEdge(VertexId u, VertexId v);
+
+  /// Erases {u, v}; returns false if absent.
+  bool EraseEdge(VertexId u, VertexId v);
+
+  /// Sorted common neighborhood N(uv) = N(u) ∩ N(v).
+  std::vector<VertexId> CommonNeighbors(VertexId u, VertexId v) const;
+
+  /// Materializes an immutable CSR snapshot.
+  Graph Snapshot() const;
+
+ private:
+  std::vector<std::vector<VertexId>> adj_;
+  uint64_t num_edges_ = 0;
+};
+
+}  // namespace esd::graph
+
+#endif  // ESD_GRAPH_DYNAMIC_GRAPH_H_

@@ -1,0 +1,81 @@
+#include "graph/io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "util/flat_map.h"
+
+namespace esd::graph {
+
+namespace {
+
+bool ParseStream(std::istream& in, Graph* out, std::string* error) {
+  std::vector<Edge> edges;
+  util::FlatMap<uint64_t, VertexId> remap;
+  VertexId next_id = 0;
+  auto intern = [&](uint64_t raw) {
+    auto [slot, inserted] = remap.Insert(raw, next_id);
+    if (inserted) ++next_id;
+    return *slot;
+  };
+
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    size_t i = 0;
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i >= line.size() || line[i] == '#' || line[i] == '%') continue;
+    std::istringstream ls(line.substr(i));
+    uint64_t a = 0, b = 0;
+    if (!(ls >> a >> b)) {
+      if (error != nullptr) {
+        *error = "malformed edge at line " + std::to_string(line_no);
+      }
+      return false;
+    }
+    edges.push_back(MakeEdge(intern(a), intern(b)));
+  }
+  *out = Graph::FromEdges(next_id, std::move(edges));
+  return true;
+}
+
+}  // namespace
+
+bool LoadEdgeList(const std::string& path, Graph* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  return ParseStream(in, out, error);
+}
+
+bool ParseEdgeList(const std::string& text, Graph* out, std::string* error) {
+  std::istringstream in(text);
+  return ParseStream(in, out, error);
+}
+
+bool SaveEdgeList(const Graph& g, const std::string& path,
+                  std::string* error) {
+  std::ofstream out(path);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << "# n=" << g.NumVertices() << " m=" << g.NumEdges() << "\n";
+  for (const Edge& e : g.Edges()) out << e.u << ' ' << e.v << '\n';
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write failed for " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace esd::graph

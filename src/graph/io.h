@@ -1,0 +1,27 @@
+#ifndef ESD_GRAPH_IO_H_
+#define ESD_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace esd::graph {
+
+/// Loads a whitespace-separated edge list (SNAP format): one "u v" pair per
+/// line; lines starting with '#' or '%' are comments. Vertex ids are
+/// remapped to a dense 0..n-1 range in first-appearance order.
+///
+/// Returns false and fills *error on failure; on success fills *out.
+bool LoadEdgeList(const std::string& path, Graph* out, std::string* error);
+
+/// Writes the graph as a SNAP-style edge list ("u v" per line, u < v),
+/// with a header comment recording n and m.
+bool SaveEdgeList(const Graph& g, const std::string& path, std::string* error);
+
+/// Parses an edge list from an in-memory string (same format as
+/// LoadEdgeList). Used by tests and the CLI's stdin mode.
+bool ParseEdgeList(const std::string& text, Graph* out, std::string* error);
+
+}  // namespace esd::graph
+
+#endif  // ESD_GRAPH_IO_H_

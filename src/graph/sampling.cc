@@ -1,0 +1,48 @@
+#include "graph/sampling.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace esd::graph {
+
+Graph SampleEdges(const Graph& g, double fraction, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Edge> kept;
+  kept.reserve(static_cast<size_t>(g.NumEdges() * std::clamp(fraction, 0.0, 1.0)) + 1);
+  for (const Edge& e : g.Edges()) {
+    if (rng.NextBool(fraction)) kept.push_back(e);
+  }
+  return Graph::FromEdges(g.NumVertices(), std::move(kept));
+}
+
+Graph SampleVertices(const Graph& g, double fraction, uint64_t seed) {
+  const VertexId n = g.NumVertices();
+  util::Rng rng(seed);
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  // Choose exactly round(fraction * n) vertices via a partial Fisher-Yates
+  // shuffle for a stable sample size.
+  VertexId keep = static_cast<VertexId>(fraction * n + 0.5);
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  for (VertexId i = 0; i < keep && n > 0; ++i) {
+    VertexId j = i + static_cast<VertexId>(rng.NextBounded(n - i));
+    std::swap(perm[i], perm[j]);
+  }
+  std::vector<VertexId> new_id(n, UINT32_MAX);
+  std::vector<VertexId> chosen(perm.begin(), perm.begin() + keep);
+  std::sort(chosen.begin(), chosen.end());
+  for (VertexId i = 0; i < keep; ++i) new_id[chosen[i]] = i;
+
+  std::vector<Edge> kept;
+  for (const Edge& e : g.Edges()) {
+    if (new_id[e.u] != UINT32_MAX && new_id[e.v] != UINT32_MAX) {
+      kept.push_back(MakeEdge(new_id[e.u], new_id[e.v]));
+    }
+  }
+  return Graph::FromEdges(keep, std::move(kept));
+}
+
+}  // namespace esd::graph

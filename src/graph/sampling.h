@@ -1,0 +1,21 @@
+#ifndef ESD_GRAPH_SAMPLING_H_
+#define ESD_GRAPH_SAMPLING_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace esd::graph {
+
+/// Keeps each edge independently with probability `fraction` (clamped to
+/// [0,1]). Vertex set is unchanged. Used by the scalability experiment
+/// (Exp-5 / Fig. 9): "randomly picking 20%-80% of the edges".
+Graph SampleEdges(const Graph& g, double fraction, uint64_t seed);
+
+/// Keeps a uniform `fraction` of the vertices and returns the induced
+/// subgraph, with surviving vertices re-labeled densely (Fig. 9(b)).
+Graph SampleVertices(const Graph& g, double fraction, uint64_t seed);
+
+}  // namespace esd::graph
+
+#endif  // ESD_GRAPH_SAMPLING_H_

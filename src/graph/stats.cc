@@ -1,0 +1,76 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/connectivity.h"
+#include "util/rng.h"
+
+namespace esd::graph {
+
+std::vector<uint64_t> DegreeHistogram(const Graph& g) {
+  std::vector<uint64_t> hist(g.MaxDegree() + 1, 0);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) ++hist[g.Degree(v)];
+  return hist;
+}
+
+double DegreeAssortativity(const Graph& g) {
+  // Pearson correlation of (d(u), d(v)) over edge endpoints, symmetrized.
+  if (g.NumEdges() == 0) return 0.0;
+  double sum_x = 0, sum_x2 = 0, sum_xy = 0;
+  for (const Edge& e : g.Edges()) {
+    double du = g.Degree(e.u);
+    double dv = g.Degree(e.v);
+    sum_x += du + dv;
+    sum_x2 += du * du + dv * dv;
+    sum_xy += 2 * du * dv;
+  }
+  double n = 2.0 * g.NumEdges();
+  double mean = sum_x / n;
+  double var = sum_x2 / n - mean * mean;
+  if (var <= 1e-12) return 0.0;
+  double cov = sum_xy / n - mean * mean;
+  return cov / var;
+}
+
+double EstimateMeanDistance(const Graph& g, uint32_t samples, uint64_t seed) {
+  const VertexId n = g.NumVertices();
+  if (n < 2) return 0.0;
+  util::Rng rng(seed);
+  uint64_t total = 0, pairs = 0;
+  std::vector<int32_t> dist(n);
+  std::vector<VertexId> queue;
+  queue.reserve(n);
+  for (uint32_t s = 0; s < samples; ++s) {
+    VertexId src = static_cast<VertexId>(rng.NextBounded(n));
+    std::fill(dist.begin(), dist.end(), -1);
+    dist[src] = 0;
+    queue.assign(1, src);
+    for (size_t head = 0; head < queue.size(); ++head) {
+      VertexId v = queue[head];
+      for (VertexId w : g.Neighbors(v)) {
+        if (dist[w] < 0) {
+          dist[w] = dist[v] + 1;
+          queue.push_back(w);
+        }
+      }
+    }
+    for (VertexId t = 0; t < n; ++t) {
+      if (t != src && dist[t] > 0) {
+        total += static_cast<uint64_t>(dist[t]);
+        ++pairs;
+      }
+    }
+  }
+  return pairs == 0 ? 0.0
+                    : static_cast<double>(total) / static_cast<double>(pairs);
+}
+
+double LargestComponentFraction(const Graph& g) {
+  if (g.NumVertices() == 0) return 0.0;
+  Components c = ConnectedComponents(g);
+  uint32_t largest = *std::max_element(c.size.begin(), c.size.end());
+  return static_cast<double>(largest) / g.NumVertices();
+}
+
+}  // namespace esd::graph

@@ -1,0 +1,28 @@
+#ifndef ESD_GRAPH_STATS_H_
+#define ESD_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace esd::graph {
+
+/// Degree histogram: count[d] = number of vertices with degree d.
+std::vector<uint64_t> DegreeHistogram(const Graph& g);
+
+/// Pearson degree assortativity over edges (in [-1, 1]; 0 for degree-
+/// uncorrelated graphs, negative for hub-leaf graphs). Returns 0 when the
+/// variance vanishes (e.g., regular graphs).
+double DegreeAssortativity(const Graph& g);
+
+/// Mean shortest-path length estimated from `samples` BFS sources
+/// (unreachable pairs are skipped). Deterministic given `seed`.
+double EstimateMeanDistance(const Graph& g, uint32_t samples, uint64_t seed);
+
+/// Fraction of vertices in the largest connected component (0 for empty).
+double LargestComponentFraction(const Graph& g);
+
+}  // namespace esd::graph
+
+#endif  // ESD_GRAPH_STATS_H_

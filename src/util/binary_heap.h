@@ -1,0 +1,78 @@
+#ifndef ESD_UTIL_BINARY_HEAP_H_
+#define ESD_UTIL_BINARY_HEAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace esd::util {
+
+/// Binary max-heap of (value, priority) pairs — the priority queue Q of the
+/// dequeue-twice online search framework (Algorithm 1).
+///
+/// Ties on priority are broken by insertion order being unspecified; the
+/// online algorithm's correctness does not depend on tie order (Theorem 1).
+template <typename T, typename Priority = int64_t>
+class BinaryHeap {
+ public:
+  struct Entry {
+    T value;
+    Priority priority;
+  };
+
+  BinaryHeap() = default;
+
+  size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+  void Reserve(size_t n) { heap_.reserve(n); }
+  void Clear() { heap_.clear(); }
+
+  /// Adds `value` with `priority`.
+  void Push(T value, Priority priority) {
+    heap_.push_back(Entry{std::move(value), priority});
+    SiftUp(heap_.size() - 1);
+  }
+
+  /// Highest-priority entry. Heap must be non-empty.
+  const Entry& Top() const { return heap_.front(); }
+
+  /// Removes and returns the highest-priority entry. Heap must be non-empty.
+  Entry Pop() {
+    Entry top = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+    return top;
+  }
+
+ private:
+  void SiftUp(size_t i) {
+    while (i > 0) {
+      size_t parent = (i - 1) / 2;
+      if (heap_[parent].priority >= heap_[i].priority) break;
+      std::swap(heap_[parent], heap_[i]);
+      i = parent;
+    }
+  }
+
+  void SiftDown(size_t i) {
+    const size_t n = heap_.size();
+    while (true) {
+      size_t l = 2 * i + 1;
+      size_t r = l + 1;
+      size_t best = i;
+      if (l < n && heap_[l].priority > heap_[best].priority) best = l;
+      if (r < n && heap_[r].priority > heap_[best].priority) best = r;
+      if (best == i) break;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<Entry> heap_;
+};
+
+}  // namespace esd::util
+
+#endif  // ESD_UTIL_BINARY_HEAP_H_

@@ -1,0 +1,157 @@
+#include "util/dsu.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace esd::util {
+
+Dsu::Dsu(size_t n) { Reset(n); }
+
+void Dsu::Reset(size_t n) {
+  parent_.resize(n);
+  count_.assign(n, 1);
+  for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+  num_components_ = n;
+}
+
+uint32_t Dsu::Find(uint32_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool Dsu::Union(uint32_t a, uint32_t b) {
+  a = Find(a);
+  b = Find(b);
+  if (a == b) return false;
+  if (count_[a] < count_[b]) std::swap(a, b);
+  parent_[b] = a;
+  count_[a] += count_[b];
+  --num_components_;
+  return true;
+}
+
+uint32_t Dsu::ComponentSize(uint32_t x) { return count_[Find(x)]; }
+
+void KeyedDsu::Reserve(size_t n) {
+  slots_.reserve(n);
+  index_.Reserve(n);
+}
+
+bool KeyedDsu::AddMember(uint32_t v) {
+  auto [slot_ptr, inserted] =
+      index_.Insert(v, static_cast<int32_t>(slots_.size()));
+  if (!inserted) {
+    // Resurrect a previously removed member in place.
+    Slot& s = slots_[static_cast<size_t>(*slot_ptr)];
+    if (s.alive) return false;
+    s.parent = *slot_ptr;
+    s.count = 1;
+    s.alive = 1;
+    ++num_members_;
+    ++num_components_;
+    return true;
+  }
+  Slot s;
+  s.vertex = v;
+  s.parent = static_cast<int32_t>(slots_.size());
+  s.count = 1;
+  s.alive = 1;
+  slots_.push_back(s);
+  ++num_members_;
+  ++num_components_;
+  return true;
+}
+
+bool KeyedDsu::Contains(uint32_t v) const {
+  const int32_t* i = index_.Find(v);
+  return i != nullptr && slots_[static_cast<size_t>(*i)].alive;
+}
+
+int32_t KeyedDsu::FindSlot(int32_t i) {
+  while (slots_[static_cast<size_t>(i)].parent != i) {
+    Slot& s = slots_[static_cast<size_t>(i)];
+    s.parent = slots_[static_cast<size_t>(s.parent)].parent;  // path halving
+    i = s.parent;
+  }
+  return i;
+}
+
+uint32_t KeyedDsu::Find(uint32_t v) {
+  const int32_t* i = index_.Find(v);
+  assert(i != nullptr && slots_[static_cast<size_t>(*i)].alive);
+  return slots_[static_cast<size_t>(FindSlot(*i))].vertex;
+}
+
+bool KeyedDsu::Union(uint32_t a, uint32_t b) {
+  const int32_t* ia = index_.Find(a);
+  const int32_t* ib = index_.Find(b);
+  assert(ia != nullptr && ib != nullptr);
+  int32_t ra = FindSlot(*ia);
+  int32_t rb = FindSlot(*ib);
+  if (ra == rb) return false;
+  if (slots_[static_cast<size_t>(ra)].count <
+      slots_[static_cast<size_t>(rb)].count) {
+    std::swap(ra, rb);
+  }
+  slots_[static_cast<size_t>(rb)].parent = ra;
+  slots_[static_cast<size_t>(ra)].count +=
+      slots_[static_cast<size_t>(rb)].count;
+  --num_components_;
+  return true;
+}
+
+uint32_t KeyedDsu::ComponentSize(uint32_t v) {
+  const int32_t* i = index_.Find(v);
+  assert(i != nullptr);
+  return slots_[static_cast<size_t>(FindSlot(*i))].count;
+}
+
+bool KeyedDsu::RemoveSingleton(uint32_t v) {
+  const int32_t* i = index_.Find(v);
+  if (i == nullptr) return false;
+  Slot& s = slots_[static_cast<size_t>(*i)];
+  if (!s.alive || s.parent != *i || s.count != 1) return false;
+  s.alive = 0;
+  --num_members_;
+  --num_components_;
+  return true;
+}
+
+std::vector<uint32_t> KeyedDsu::ComponentMembers(uint32_t v) {
+  const int32_t* iv = index_.Find(v);
+  assert(iv != nullptr);
+  int32_t root = FindSlot(*iv);
+  std::vector<uint32_t> members;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].alive && FindSlot(static_cast<int32_t>(i)) == root) {
+      members.push_back(slots_[i].vertex);
+    }
+  }
+  return members;
+}
+
+void KeyedDsu::RemoveComponent(uint32_t v) {
+  const int32_t* iv = index_.Find(v);
+  assert(iv != nullptr);
+  int32_t root = FindSlot(*iv);
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].alive && FindSlot(static_cast<int32_t>(i)) == root) {
+      slots_[i].alive = 0;
+      --num_members_;
+    }
+  }
+  --num_components_;
+}
+
+std::vector<uint32_t> KeyedDsu::ComponentSizes() {
+  std::vector<uint32_t> sizes;
+  sizes.reserve(num_components_);
+  ForEachComponent([&](uint32_t, uint32_t count) { sizes.push_back(count); });
+  std::sort(sizes.begin(), sizes.end());
+  return sizes;
+}
+
+}  // namespace esd::util

@@ -1,0 +1,140 @@
+#ifndef ESD_UTIL_DSU_H_
+#define ESD_UTIL_DSU_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/flat_map.h"
+
+namespace esd::util {
+
+/// Classic disjoint-set union over a fixed index range [0, n).
+///
+/// Union by size with path halving; amortized cost per operation is
+/// O(gamma(n)), the inverse Ackermann function referenced throughout the
+/// paper's complexity analysis.
+class Dsu {
+ public:
+  /// Creates n singleton sets {0}, {1}, ..., {n-1}.
+  explicit Dsu(size_t n = 0);
+
+  /// Resets to n singleton sets.
+  void Reset(size_t n);
+
+  /// Number of elements.
+  size_t size() const { return parent_.size(); }
+
+  /// Number of disjoint sets.
+  size_t NumComponents() const { return num_components_; }
+
+  /// Representative of x's set.
+  uint32_t Find(uint32_t x);
+
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool Union(uint32_t a, uint32_t b);
+
+  /// Size of the set containing x.
+  uint32_t ComponentSize(uint32_t x);
+
+  /// True if a and b are in the same set.
+  bool Same(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> count_;
+  size_t num_components_ = 0;
+};
+
+/// Disjoint-set union keyed by sparse vertex ids — the paper's per-edge
+/// structure `M_uv` (Algorithm 3, lines 1-4): each common neighbor of the
+/// edge's endpoints is a member, each set is one connected component of the
+/// edge ego-network, and every root carries the component's size ("count").
+///
+/// Members can be added and removed dynamically, which the maintenance
+/// algorithms (Algorithms 4 and 5) rely on. Removal is restricted to
+/// singletons or whole components, matching how the paper's Deletion
+/// algorithm rebuilds affected components.
+class KeyedDsu {
+ public:
+  KeyedDsu() = default;
+
+  /// Pre-sizes internal tables for n members.
+  void Reserve(size_t n);
+
+  /// Adds `v` as a new singleton component; returns false if already present.
+  bool AddMember(uint32_t v);
+
+  /// True if `v` is a member.
+  bool Contains(uint32_t v) const;
+
+  /// Representative vertex of v's component. `v` must be a member.
+  uint32_t Find(uint32_t v);
+
+  /// Merges the components of `a` and `b`; returns true if they differed.
+  /// Both must be members.
+  bool Union(uint32_t a, uint32_t b);
+
+  /// Size of the component containing `v`. `v` must be a member.
+  uint32_t ComponentSize(uint32_t v);
+
+  /// True if members `a` and `b` share a component.
+  bool Same(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+  /// Total members across all components.
+  size_t NumMembers() const { return num_members_; }
+
+  /// Number of components.
+  size_t NumComponents() const { return num_components_; }
+
+  /// Removes `v` if it is a singleton component; returns false otherwise
+  /// (including when `v` is not a member).
+  bool RemoveSingleton(uint32_t v);
+
+  /// All member vertices of v's component.
+  std::vector<uint32_t> ComponentMembers(uint32_t v);
+
+  /// Removes v's entire component (all its members).
+  void RemoveComponent(uint32_t v);
+
+  /// Invokes fn(root_vertex, component_size) for every component.
+  template <typename Fn>
+  void ForEachComponent(Fn&& fn) {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].alive && slots_[i].parent == static_cast<int32_t>(i)) {
+        fn(slots_[i].vertex, slots_[i].count);
+      }
+    }
+  }
+
+  /// Invokes fn(vertex) for every member.
+  template <typename Fn>
+  void ForEachMember(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.alive) fn(s.vertex);
+    }
+  }
+
+  /// Sorted (ascending) list of component sizes — the paper's `C_uv`
+  /// with multiplicities.
+  std::vector<uint32_t> ComponentSizes();
+
+ private:
+  struct Slot {
+    uint32_t vertex = 0;
+    int32_t parent = -1;  // slot index; == own index for roots
+    uint32_t count = 0;   // component size, valid at roots
+    uint8_t alive = 0;
+  };
+
+  int32_t FindSlot(int32_t i);
+
+  std::vector<Slot> slots_;
+  FlatMap<uint32_t, int32_t> index_;  // vertex -> slot
+  size_t num_members_ = 0;
+  size_t num_components_ = 0;
+};
+
+}  // namespace esd::util
+
+#endif  // ESD_UTIL_DSU_H_

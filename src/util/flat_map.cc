@@ -1,0 +1,4 @@
+#include "util/flat_map.h"
+
+// FlatMap/FlatSet are header-only templates; this file anchors the target.
+namespace esd::util {}

@@ -1,0 +1,190 @@
+#ifndef ESD_UTIL_FLAT_MAP_H_
+#define ESD_UTIL_FLAT_MAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace esd::util {
+
+/// Open-addressing hash map for integral keys, tuned for the small per-edge
+/// vertex maps this library allocates by the million (disjoint-set slots,
+/// neighborhood membership marks).
+///
+/// Layout: parallel arrays of slot state / key / value with linear probing
+/// and backward-shift deletion (no tombstones, so lookup cost never degrades
+/// after heavy churn). Capacity is a power of two; max load factor is 7/8.
+///
+/// Iteration order is unspecified. References returned by find()/operator[]
+/// are invalidated by any mutating call.
+template <typename K, typename V>
+class FlatMap {
+  static_assert(std::is_integral_v<K>, "FlatMap requires an integral key");
+
+ public:
+  FlatMap() = default;
+
+  /// Pre-sizes the table for at least `n` elements without rehashing.
+  explicit FlatMap(size_t n) { Reserve(n); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Removes all elements but keeps the allocation.
+  void Clear() {
+    std::fill(state_.begin(), state_.end(), uint8_t{0});
+    size_ = 0;
+  }
+
+  /// Ensures capacity for at least `n` elements.
+  void Reserve(size_t n) {
+    size_t want = 16;
+    while (want * 7 / 8 < n) want <<= 1;
+    if (want > Capacity()) Rehash(want);
+  }
+
+  /// Returns a pointer to the value for `key`, or nullptr if absent.
+  V* Find(K key) {
+    if (size_ == 0) return nullptr;
+    size_t i = Probe(key);
+    return state_[i] ? &vals_[i] : nullptr;
+  }
+  const V* Find(K key) const {
+    return const_cast<FlatMap*>(this)->Find(key);
+  }
+
+  bool Contains(K key) const { return Find(key) != nullptr; }
+
+  /// Inserts `{key, value}` if absent; returns {pointer to value, inserted}.
+  std::pair<V*, bool> Insert(K key, V value) {
+    GrowIfNeeded();
+    size_t i = Probe(key);
+    if (state_[i]) return {&vals_[i], false};
+    state_[i] = 1;
+    keys_[i] = key;
+    vals_[i] = std::move(value);
+    ++size_;
+    return {&vals_[i], true};
+  }
+
+  /// Returns the value for `key`, default-constructing it if absent.
+  V& operator[](K key) { return *Insert(key, V{}).first; }
+
+  /// Erases `key`; returns true if it was present.
+  bool Erase(K key) {
+    if (size_ == 0) return false;
+    size_t i = Probe(key);
+    if (!state_[i]) return false;
+    // Backward-shift deletion: move subsequent probe-chain entries up.
+    size_t mask = Capacity() - 1;
+    size_t hole = i;
+    size_t j = i;
+    while (true) {
+      j = (j + 1) & mask;
+      if (!state_[j]) break;
+      size_t home = Home(keys_[j]);
+      // Can slot j's entry legally move into the hole? Yes iff the hole is
+      // not "between" home and j in cyclic probe order.
+      bool movable = (hole <= j) ? (home <= hole || home > j)
+                                 : (home <= hole && home > j);
+      if (movable) {
+        keys_[hole] = keys_[j];
+        vals_[hole] = std::move(vals_[j]);
+        hole = j;
+      }
+    }
+    state_[hole] = 0;
+    --size_;
+    return true;
+  }
+
+  /// Invokes `fn(key, value&)` for every element (unspecified order).
+  template <typename Fn>
+  void ForEach(Fn&& fn) {
+    for (size_t i = 0; i < Capacity(); ++i) {
+      if (state_[i]) fn(keys_[i], vals_[i]);
+    }
+  }
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < Capacity(); ++i) {
+      if (state_[i]) fn(keys_[i], vals_[i]);
+    }
+  }
+
+ private:
+  size_t Capacity() const { return state_.size(); }
+
+  size_t Home(K key) const {
+    return static_cast<size_t>(Mix64(static_cast<uint64_t>(key))) &
+           (Capacity() - 1);
+  }
+
+  // Returns the slot holding `key`, or the empty slot where it would go.
+  size_t Probe(K key) const {
+    size_t mask = Capacity() - 1;
+    size_t i = Home(key);
+    while (state_[i] && keys_[i] != key) i = (i + 1) & mask;
+    return i;
+  }
+
+  void GrowIfNeeded() {
+    if (Capacity() == 0) {
+      Rehash(16);
+    } else if ((size_ + 1) * 8 > Capacity() * 7) {
+      Rehash(Capacity() * 2);
+    }
+  }
+
+  void Rehash(size_t cap) {
+    std::vector<uint8_t> old_state = std::move(state_);
+    std::vector<K> old_keys = std::move(keys_);
+    std::vector<V> old_vals = std::move(vals_);
+    state_.assign(cap, 0);
+    keys_.assign(cap, K{});
+    vals_.assign(cap, V{});
+    size_ = 0;
+    for (size_t i = 0; i < old_state.size(); ++i) {
+      if (old_state[i]) Insert(old_keys[i], std::move(old_vals[i]));
+    }
+  }
+
+  std::vector<uint8_t> state_;
+  std::vector<K> keys_;
+  std::vector<V> vals_;
+  size_t size_ = 0;
+};
+
+/// Open-addressing hash set for integral keys; thin wrapper over FlatMap.
+template <typename K>
+class FlatSet {
+ public:
+  FlatSet() = default;
+  explicit FlatSet(size_t n) : map_(n) {}
+
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+  void Clear() { map_.Clear(); }
+  void Reserve(size_t n) { map_.Reserve(n); }
+  bool Contains(K key) const { return map_.Contains(key); }
+  bool Insert(K key) { return map_.Insert(key, Empty{}).second; }
+  bool Erase(K key) { return map_.Erase(key); }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    map_.ForEach([&](K k, const Empty&) { fn(k); });
+  }
+
+ private:
+  struct Empty {};
+  FlatMap<K, Empty> map_;
+};
+
+}  // namespace esd::util
+
+#endif  // ESD_UTIL_FLAT_MAP_H_

@@ -1,0 +1,92 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace esd::util {
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : num_threads_(std::max(1u, num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (unsigned i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::ParallelFor(uint64_t begin, uint64_t end, uint64_t grain,
+                             const std::function<void(uint64_t)>& fn) {
+  ParallelForChunked(begin, end, grain, [&fn](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+void ThreadPool::ParallelForChunked(
+    uint64_t begin, uint64_t end, uint64_t grain,
+    const std::function<void(uint64_t, uint64_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<uint64_t>(1, grain);
+  if (num_threads_ == 1 || end - begin <= grain) {
+    fn(begin, end);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = fn;
+    next_.store(begin, std::memory_order_relaxed);
+    end_ = end;
+    grain_ = grain;
+    ++generation_;
+    active_workers_ = static_cast<unsigned>(workers_.size());
+  }
+  work_ready_.notify_all();
+
+  // The calling thread participates.
+  while (true) {
+    uint64_t lo = next_.fetch_add(grain, std::memory_order_relaxed);
+    if (lo >= end) break;
+    fn(lo, std::min(lo + grain, end));
+  }
+
+  // Wait for workers to drain their chunks.
+  std::unique_lock<std::mutex> lock(mu_);
+  work_done_.wait(lock, [this] { return active_workers_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    std::function<void(uint64_t, uint64_t)> job;
+    uint64_t end, grain;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+      job = job_;
+      end = end_;
+      grain = grain_;
+    }
+    while (true) {
+      uint64_t lo = next_.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) break;
+      job(lo, std::min(lo + grain, end));
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_workers_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace esd::util

@@ -1,0 +1,66 @@
+#ifndef ESD_UTIL_THREAD_POOL_H_
+#define ESD_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace esd::util {
+
+/// Fixed-size worker pool used by the parallel index builder (PESDIndex+,
+/// Section IV-E of the paper).
+///
+/// `num_threads == 1` degenerates to running everything on the calling
+/// thread, so single-threaded baselines pay no synchronization cost.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers (the calling thread participates in
+  /// ParallelFor). `num_threads` is clamped to >= 1.
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned num_threads() const { return num_threads_; }
+
+  /// Runs fn(i) for every i in [begin, end), distributing dynamically in
+  /// chunks of `grain` indices. Blocks until all iterations complete.
+  /// `fn` must be safe to call concurrently from multiple threads.
+  void ParallelFor(uint64_t begin, uint64_t end, uint64_t grain,
+                   const std::function<void(uint64_t)>& fn);
+
+  /// Runs fn(chunk_begin, chunk_end) over dynamic chunks. Blocks.
+  void ParallelForChunked(uint64_t begin, uint64_t end, uint64_t grain,
+                          const std::function<void(uint64_t, uint64_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  unsigned num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  bool shutdown_ = false;
+
+  // Current ParallelFor job; protected by mu_ for setup/teardown, lock-free
+  // chunk claiming through next_.
+  std::function<void(uint64_t, uint64_t)> job_;
+  std::atomic<uint64_t> next_{0};
+  uint64_t end_ = 0;
+  uint64_t grain_ = 1;
+  uint64_t generation_ = 0;
+  unsigned active_workers_ = 0;
+};
+
+}  // namespace esd::util
+
+#endif  // ESD_UTIL_THREAD_POOL_H_

@@ -1,0 +1,5 @@
+#include "util/timer.h"
+
+// Timer is header-only; this translation unit exists so the target has a
+// definition anchor and the header gets compiled standalone at least once.
+namespace esd::util {}

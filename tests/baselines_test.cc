@@ -1,0 +1,195 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/betweenness.h"
+#include "baselines/common_neighbor.h"
+#include "baselines/vertex_diversity.h"
+#include "gen/erdos_renyi.h"
+#include "graph/builder.h"
+#include "graph/connectivity.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace esd::baselines {
+namespace {
+
+using graph::Edge;
+using graph::EdgeId;
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::VertexId;
+
+Graph PathGraph(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId i = 0; i + 1 < n; ++i) b.AddEdge(i, i + 1);
+  return b.Build();
+}
+
+// ---------------------------------------------------------------------------
+// Common neighbors (CN)
+// ---------------------------------------------------------------------------
+
+TEST(CommonNeighborTest, CountsMatchDirectIntersection) {
+  Graph g = gen::ErdosRenyiGnp(40, 0.25, 1);
+  std::vector<uint32_t> counts = AllCommonNeighborCounts(g);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& uv = g.EdgeAt(e);
+    EXPECT_EQ(counts[e], graph::CountCommonNeighbors(g, uv.u, uv.v));
+  }
+}
+
+TEST(CommonNeighborTest, TopKSortedAndCorrect) {
+  Graph g = gen::ErdosRenyiGnp(40, 0.3, 2);
+  core::TopKResult top = TopKByCommonNeighbors(g, 10);
+  ASSERT_EQ(top.size(), 10u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].score, top[i].score);
+  }
+  // Nothing outside the top-k beats the k-th value.
+  std::vector<uint32_t> counts = AllCommonNeighborCounts(g);
+  uint32_t kth = top.back().score;
+  uint32_t better = 0;
+  for (uint32_t c : counts) better += c > kth;
+  EXPECT_LE(better, 9u);
+}
+
+// ---------------------------------------------------------------------------
+// Edge betweenness (BT)
+// ---------------------------------------------------------------------------
+
+TEST(BetweennessTest, PathGraphClosedForm) {
+  // On a path 0-1-2-3-4, edge (i,i+1) lies on (i+1)*(n-1-i) shortest paths.
+  Graph g = PathGraph(5);
+  std::vector<double> bt = EdgeBetweenness(g);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    const Edge& uv = g.EdgeAt(e);
+    double want = static_cast<double>(uv.u + 1) * (5 - 1 - uv.u);
+    EXPECT_DOUBLE_EQ(bt[e], want) << "edge " << uv.u << "-" << uv.v;
+  }
+}
+
+TEST(BetweennessTest, StarGraphUniform) {
+  GraphBuilder b(6);
+  for (VertexId i = 1; i < 6; ++i) b.AddEdge(0, i);
+  Graph g = b.Build();
+  std::vector<double> bt = EdgeBetweenness(g);
+  // Each spoke carries its leaf's paths to everything: 1 + 4 = ... each
+  // leaf-pair path uses two spokes; leaf-hub uses one. Per spoke:
+  // 1 (to hub) + 4 (to other leaves) = 5.
+  for (double x : bt) EXPECT_DOUBLE_EQ(x, 5.0);
+}
+
+TEST(BetweennessTest, BridgeDominatesBarbell) {
+  // Two K5's joined by one edge: the bridge carries all 25 cross pairs.
+  GraphBuilder b(10);
+  for (VertexId i = 0; i < 5; ++i) {
+    for (VertexId j = i + 1; j < 5; ++j) {
+      b.AddEdge(i, j);
+      b.AddEdge(i + 5, j + 5);
+    }
+  }
+  b.AddEdge(0, 5);
+  Graph g = b.Build();
+  BetweennessTopK top = TopKByBetweenness(g, 1);
+  ASSERT_EQ(top.edges.size(), 1u);
+  EXPECT_EQ(top.edges[0].edge, graph::MakeEdge(0, 5));
+  EXPECT_DOUBLE_EQ(top.values[0], 25.0);
+}
+
+TEST(BetweennessTest, TotalMassMatchesPairDistancesOnConnectedGraph) {
+  // Sum of edge betweenness over all edges equals the sum over vertex pairs
+  // of d(s,t) (each unit of every shortest path is spread across its edges).
+  Graph g = gen::ErdosRenyiGnp(20, 0.3, 5);
+  if (!graph::IsConnected(g)) GTEST_SKIP() << "sampled graph disconnected";
+  std::vector<double> bt = EdgeBetweenness(g);
+  double mass = 0;
+  for (double x : bt) mass += x;
+  // BFS all pairs.
+  double dist_sum = 0;
+  for (VertexId s = 0; s < g.NumVertices(); ++s) {
+    std::vector<int> dist(g.NumVertices(), -1);
+    std::vector<VertexId> q{s};
+    dist[s] = 0;
+    for (size_t h = 0; h < q.size(); ++h) {
+      VertexId v = q[h];
+      for (VertexId w : g.Neighbors(v)) {
+        if (dist[w] < 0) {
+          dist[w] = dist[v] + 1;
+          q.push_back(w);
+        }
+      }
+    }
+    for (VertexId t = s + 1; t < g.NumVertices(); ++t) dist_sum += dist[t];
+  }
+  EXPECT_NEAR(mass, dist_sum, 1e-6 * dist_sum);
+}
+
+TEST(BetweennessTest, SampledApproximationCloseToExact) {
+  Graph g = gen::ErdosRenyiGnp(60, 0.15, 7);
+  std::vector<double> exact = EdgeBetweenness(g);
+  std::vector<double> approx = ApproxEdgeBetweenness(g, 30, 3);
+  // Rank correlation proxy: the top exact edge should be near the top of
+  // the approximation.
+  EdgeId best = static_cast<EdgeId>(
+      std::max_element(exact.begin(), exact.end()) - exact.begin());
+  std::vector<double> sorted = approx;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  double rank_value = approx[best];
+  size_t rank = static_cast<size_t>(
+      std::lower_bound(sorted.begin(), sorted.end(), rank_value,
+                       std::greater<>()) -
+      sorted.begin());
+  EXPECT_LT(rank, g.NumEdges() / 5);
+}
+
+TEST(BetweennessTest, SampledWithAllSourcesIsExact) {
+  Graph g = gen::ErdosRenyiGnp(25, 0.3, 9);
+  std::vector<double> exact = EdgeBetweenness(g);
+  std::vector<double> full = ApproxEdgeBetweenness(g, 25, 1);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_NEAR(exact[e], full[e], 1e-9);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Vertex structural diversity
+// ---------------------------------------------------------------------------
+
+TEST(VertexDiversityTest, StarCenterCountsLeaves) {
+  GraphBuilder b(6);
+  for (VertexId i = 1; i < 6; ++i) b.AddEdge(0, i);
+  Graph g = b.Build();
+  EXPECT_EQ(VertexScore(g, 0, 1), 5u);  // five isolated neighbors
+  EXPECT_EQ(VertexScore(g, 0, 2), 0u);
+  EXPECT_EQ(VertexScore(g, 1, 1), 1u);  // neighbor {0}
+}
+
+TEST(VertexDiversityTest, TriangleNeighborhoodsConnected) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(0, 2);
+  Graph g = b.Build();
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_EQ(VertexScore(g, v, 1), 1u);
+    EXPECT_EQ(VertexScore(g, v, 2), 1u);
+  }
+}
+
+TEST(VertexDiversityTest, TopKOrderingAndScores) {
+  Graph g = gen::ErdosRenyiGnp(50, 0.15, 11);
+  std::vector<ScoredVertex> top = TopKVertexDiversity(g, 10, 1);
+  ASSERT_EQ(top.size(), 10u);
+  std::vector<uint32_t> all = AllVertexScores(g, 1);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].score, top[i].score);
+  }
+  for (const ScoredVertex& sv : top) EXPECT_EQ(sv.score, all[sv.v]);
+}
+
+}  // namespace
+}  // namespace esd::baselines

@@ -1,0 +1,82 @@
+#ifndef ESD_TESTS_TEST_HELPERS_H_
+#define ESD_TESTS_TEST_HELPERS_H_
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/esd_index.h"
+#include "core/naive_topk.h"
+#include "core/topk_result.h"
+#include "graph/graph.h"
+
+namespace esd::test {
+
+/// Flattened image of an EsdIndex: c -> ordered (score, edge) entries.
+using IndexImage =
+    std::map<uint32_t, std::vector<std::pair<uint32_t, graph::EdgeId>>>;
+
+inline IndexImage ImageOf(const core::EsdIndex& index) {
+  IndexImage image;
+  index.ForEachList([&image](uint32_t c, const core::EsdIndex::List& list) {
+    auto& entries = image[c];
+    list.ForEachInOrder([&entries](const core::EsdIndex::Entry& e) {
+      entries.emplace_back(e.score, e.e);
+      return true;
+    });
+  });
+  return image;
+}
+
+/// Asserts two indexes have identical lists (same C, same ordered entries).
+inline void ExpectIndexesEqual(const core::EsdIndex& a,
+                               const core::EsdIndex& b) {
+  EXPECT_EQ(ImageOf(a), ImageOf(b));
+  EXPECT_EQ(a.NumEntries(), b.NumEntries());
+}
+
+/// Checks the EsdIndex invariant from first principles: every list H(c)
+/// contains exactly the edges with max component >= c, keyed by the score
+/// at threshold c, and C is exactly the set of occurring sizes.
+/// `sizes_of(e)` must return edge e's sorted component sizes; `edge_ids`
+/// the live edge ids.
+template <typename SizesFn>
+void ExpectIndexInvariant(const core::EsdIndex& index,
+                          const std::vector<graph::EdgeId>& edge_ids,
+                          SizesFn&& sizes_of) {
+  std::map<uint32_t, std::vector<std::pair<uint32_t, graph::EdgeId>>> want;
+  std::set<uint32_t> all_sizes;
+  for (graph::EdgeId e : edge_ids) {
+    const std::vector<uint32_t>& sizes = sizes_of(e);
+    for (uint32_t s : sizes) all_sizes.insert(s);
+  }
+  for (uint32_t c : all_sizes) {
+    auto& list = want[c];
+    for (graph::EdgeId e : edge_ids) {
+      const std::vector<uint32_t>& sizes = sizes_of(e);
+      if (sizes.empty() || sizes.back() < c) continue;
+      uint32_t score = static_cast<uint32_t>(
+          sizes.end() - std::lower_bound(sizes.begin(), sizes.end(), c));
+      list.emplace_back(score, e);
+    }
+    std::sort(list.begin(), list.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+  }
+  EXPECT_EQ(ImageOf(index), want);
+}
+
+/// Descending score vector of the exact top-k (ground truth).
+inline std::vector<uint32_t> NaiveTopScores(const graph::Graph& g, uint32_t k,
+                                            uint32_t tau) {
+  return core::Scores(core::NaiveTopK(g, k, tau));
+}
+
+}  // namespace esd::test
+
+#endif  // ESD_TESTS_TEST_HELPERS_H_

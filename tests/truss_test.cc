@@ -1,0 +1,137 @@
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cliques/truss.h"
+#include "gen/erdos_renyi.h"
+#include "graph/builder.h"
+#include "graph/graph.h"
+
+namespace esd::cliques {
+namespace {
+
+using graph::Edge;
+using graph::EdgeId;
+using graph::Graph;
+using graph::GraphBuilder;
+using graph::VertexId;
+
+Graph CompleteGraph(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = i + 1; j < n; ++j) b.AddEdge(i, j);
+  }
+  return b.Build();
+}
+
+// Reference: trussness via repeated peeling from scratch. For each k,
+// iteratively delete edges with < k-2 triangles; an edge's trussness is
+// the largest k at which it survives.
+std::vector<uint32_t> BruteTrussness(const Graph& g) {
+  const EdgeId m = g.NumEdges();
+  std::vector<uint32_t> truss(m, 2);
+  for (uint32_t k = 3;; ++k) {
+    std::vector<uint8_t> alive(m, 1);
+    // Only edges with trussness >= k-1 can be in the k-truss.
+    for (EdgeId e = 0; e < m; ++e) alive[e] = truss[e] >= k - 1;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (EdgeId e = 0; e < m; ++e) {
+        if (!alive[e]) continue;
+        const Edge& uv = g.EdgeAt(e);
+        uint32_t tri = 0;
+        for (VertexId w = 0; w < g.NumVertices(); ++w) {
+          EdgeId e1 = g.FindEdge(uv.u, w);
+          EdgeId e2 = g.FindEdge(uv.v, w);
+          if (e1 != graph::kNoEdge && e2 != graph::kNoEdge && alive[e1] &&
+              alive[e2]) {
+            ++tri;
+          }
+        }
+        if (tri < k - 2) {
+          alive[e] = 0;
+          changed = true;
+        }
+      }
+    }
+    bool any = false;
+    for (EdgeId e = 0; e < m; ++e) {
+      if (alive[e]) {
+        truss[e] = k;
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  return truss;
+}
+
+TEST(TrussTest, CliquesHaveFullTrussness) {
+  for (VertexId n : {3u, 4u, 5u, 6u}) {
+    TrussDecomposition d = ComputeTrussness(CompleteGraph(n));
+    EXPECT_EQ(d.max_trussness, n);
+    for (uint32_t t : d.trussness) EXPECT_EQ(t, n);
+  }
+}
+
+TEST(TrussTest, TreesAndCyclesAreTwoTrusses) {
+  GraphBuilder path(5);
+  for (VertexId i = 0; i + 1 < 5; ++i) path.AddEdge(i, i + 1);
+  TrussDecomposition d = ComputeTrussness(path.Build());
+  for (uint32_t t : d.trussness) EXPECT_EQ(t, 2u);
+  EXPECT_EQ(d.max_trussness, 2u);
+}
+
+TEST(TrussTest, CliqueWithPendantEdge) {
+  GraphBuilder b(5);
+  for (VertexId i = 0; i < 4; ++i) {
+    for (VertexId j = i + 1; j < 4; ++j) b.AddEdge(i, j);
+  }
+  b.AddEdge(3, 4);  // pendant
+  Graph g = b.Build();
+  TrussDecomposition d = ComputeTrussness(g);
+  EdgeId pendant = g.FindEdge(3, 4);
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    EXPECT_EQ(d.trussness[e], e == pendant ? 2u : 4u);
+  }
+}
+
+TEST(TrussTest, EmptyGraph) {
+  TrussDecomposition d = ComputeTrussness(Graph());
+  EXPECT_EQ(d.max_trussness, 0u);
+  EXPECT_TRUE(d.trussness.empty());
+}
+
+class TrussRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TrussRandomTest, MatchesBruteForce) {
+  Graph g = gen::ErdosRenyiGnp(18, 0.45, GetParam());
+  TrussDecomposition d = ComputeTrussness(g);
+  EXPECT_EQ(d.trussness, BruteTrussness(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TrussRandomTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(TrussTest, TwoCliquesSharingAnEdge) {
+  // K5 on {0..4} and K4 on {3,4,5,6}: the shared edge (3,4) belongs to the
+  // denser truss.
+  GraphBuilder b(7);
+  for (VertexId i = 0; i < 5; ++i) {
+    for (VertexId j = i + 1; j < 5; ++j) b.AddEdge(i, j);
+  }
+  for (VertexId i = 3; i < 7; ++i) {
+    for (VertexId j = i + 1; j < 7; ++j) b.AddEdge(i, j);
+  }
+  Graph g = b.Build();
+  TrussDecomposition d = ComputeTrussness(g);
+  EXPECT_EQ(d.trussness[g.FindEdge(0, 1)], 5u);
+  EXPECT_EQ(d.trussness[g.FindEdge(3, 4)], 5u);
+  EXPECT_EQ(d.trussness[g.FindEdge(5, 6)], 4u);
+  EXPECT_EQ(d.max_trussness, 5u);
+}
+
+}  // namespace
+}  // namespace esd::cliques
