@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_builders"
+  "../bench/ablation_builders.pdb"
+  "CMakeFiles/ablation_builders.dir/ablation_builders.cpp.o"
+  "CMakeFiles/ablation_builders.dir/ablation_builders.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_builders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

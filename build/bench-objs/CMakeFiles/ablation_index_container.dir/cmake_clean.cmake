@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_index_container"
+  "../bench/ablation_index_container.pdb"
+  "CMakeFiles/ablation_index_container.dir/ablation_index_container.cpp.o"
+  "CMakeFiles/ablation_index_container.dir/ablation_index_container.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_index_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_parallel_mode"
+  "../bench/ablation_parallel_mode.pdb"
+  "CMakeFiles/ablation_parallel_mode.dir/ablation_parallel_mode.cpp.o"
+  "CMakeFiles/ablation_parallel_mode.dir/ablation_parallel_mode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_parallel_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/case_dblp"
+  "../bench/case_dblp.pdb"
+  "CMakeFiles/case_dblp.dir/case_dblp.cpp.o"
+  "CMakeFiles/case_dblp.dir/case_dblp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_dblp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

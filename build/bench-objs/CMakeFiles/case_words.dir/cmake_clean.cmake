@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/case_words"
+  "../bench/case_words.pdb"
+  "CMakeFiles/case_words.dir/case_words.cpp.o"
+  "CMakeFiles/case_words.dir/case_words.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_words.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

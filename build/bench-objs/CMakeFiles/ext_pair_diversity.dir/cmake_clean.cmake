@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_pair_diversity"
+  "../bench/ext_pair_diversity.pdb"
+  "CMakeFiles/ext_pair_diversity.dir/ext_pair_diversity.cpp.o"
+  "CMakeFiles/ext_pair_diversity.dir/ext_pair_diversity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_pair_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

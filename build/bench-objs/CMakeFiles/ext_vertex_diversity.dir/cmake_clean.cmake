@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_vertex_diversity"
+  "../bench/ext_vertex_diversity.pdb"
+  "CMakeFiles/ext_vertex_diversity.dir/ext_vertex_diversity.cpp.o"
+  "CMakeFiles/ext_vertex_diversity.dir/ext_vertex_diversity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_vertex_diversity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_maintenance"
+  "../bench/fig11_maintenance.pdb"
+  "CMakeFiles/fig11_maintenance.dir/fig11_maintenance.cpp.o"
+  "CMakeFiles/fig11_maintenance.dir/fig11_maintenance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

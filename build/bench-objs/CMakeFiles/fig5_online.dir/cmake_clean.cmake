@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_online"
+  "../bench/fig5_online.pdb"
+  "CMakeFiles/fig5_online.dir/fig5_online.cpp.o"
+  "CMakeFiles/fig5_online.dir/fig5_online.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

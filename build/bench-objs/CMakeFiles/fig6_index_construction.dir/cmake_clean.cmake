@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_index_construction"
+  "../bench/fig6_index_construction.pdb"
+  "CMakeFiles/fig6_index_construction.dir/fig6_index_construction.cpp.o"
+  "CMakeFiles/fig6_index_construction.dir/fig6_index_construction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_index_construction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_parallel"
+  "../bench/fig7_parallel.pdb"
+  "CMakeFiles/fig7_parallel.dir/fig7_parallel.cpp.o"
+  "CMakeFiles/fig7_parallel.dir/fig7_parallel.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_query"
+  "../bench/fig8_query.pdb"
+  "CMakeFiles/fig8_query.dir/fig8_query.cpp.o"
+  "CMakeFiles/fig8_query.dir/fig8_query.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

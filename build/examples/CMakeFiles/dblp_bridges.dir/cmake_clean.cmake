@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dblp_bridges.dir/dblp_bridges.cpp.o"
+  "CMakeFiles/dblp_bridges.dir/dblp_bridges.cpp.o.d"
+  "dblp_bridges"
+  "dblp_bridges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dblp_bridges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esd_cli.dir/esd_cli.cpp.o"
+  "CMakeFiles/esd_cli.dir/esd_cli.cpp.o.d"
+  "esd_cli"
+  "esd_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esd_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

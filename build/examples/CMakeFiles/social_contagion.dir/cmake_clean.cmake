@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_contagion.dir/social_contagion.cpp.o"
+  "CMakeFiles/social_contagion.dir/social_contagion.cpp.o.d"
+  "social_contagion"
+  "social_contagion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_contagion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/word_senses.dir/word_senses.cpp.o"
+  "CMakeFiles/word_senses.dir/word_senses.cpp.o.d"
+  "word_senses"
+  "word_senses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/word_senses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

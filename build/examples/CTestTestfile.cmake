@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_social_contagion "/root/repo/build/examples/social_contagion")
+set_tests_properties(example_social_contagion PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_word_senses "/root/repo/build/examples/word_senses")
+set_tests_properties(example_word_senses PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dblp_bridges "/root/repo/build/examples/dblp_bridges")
+set_tests_properties(example_dblp_bridges PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_dynamic_stream "/root/repo/build/examples/dynamic_stream")
+set_tests_properties(example_dynamic_stream PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_friend_suggestion "/root/repo/build/examples/friend_suggestion")
+set_tests_properties(example_friend_suggestion PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_esd_cli "/root/repo/build/examples/esd_cli" "--dataset" "youtube-s" "--scale" "0.1" "--k" "3" "--tau" "2")
+set_tests_properties(example_esd_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_esd_cli_online "/root/repo/build/examples/esd_cli" "--dataset" "youtube-s" "--scale" "0.1" "--k" "3" "--online")
+set_tests_properties(example_esd_cli_online PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_esd_cli_stats "/root/repo/build/examples/esd_cli" "--dataset" "dblp-s" "--scale" "0.05" "--stats")
+set_tests_properties(example_esd_cli_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_graph_gen "/root/repo/build/examples/graph_gen" "--model" "hk" "--n" "500" "--attach" "4" "--p" "0.4" "--out" "/root/repo/build/graph_gen_smoke.txt")
+set_tests_properties(example_graph_gen PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")

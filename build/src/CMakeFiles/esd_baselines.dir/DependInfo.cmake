@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/betweenness.cc" "src/CMakeFiles/esd_baselines.dir/baselines/betweenness.cc.o" "gcc" "src/CMakeFiles/esd_baselines.dir/baselines/betweenness.cc.o.d"
+  "/root/repo/src/baselines/common_neighbor.cc" "src/CMakeFiles/esd_baselines.dir/baselines/common_neighbor.cc.o" "gcc" "src/CMakeFiles/esd_baselines.dir/baselines/common_neighbor.cc.o.d"
+  "/root/repo/src/baselines/vertex_diversity.cc" "src/CMakeFiles/esd_baselines.dir/baselines/vertex_diversity.cc.o" "gcc" "src/CMakeFiles/esd_baselines.dir/baselines/vertex_diversity.cc.o.d"
+  "/root/repo/src/baselines/vertex_diversity_index.cc" "src/CMakeFiles/esd_baselines.dir/baselines/vertex_diversity_index.cc.o" "gcc" "src/CMakeFiles/esd_baselines.dir/baselines/vertex_diversity_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/esd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/esd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esd_baselines.dir/baselines/betweenness.cc.o"
+  "CMakeFiles/esd_baselines.dir/baselines/betweenness.cc.o.d"
+  "CMakeFiles/esd_baselines.dir/baselines/common_neighbor.cc.o"
+  "CMakeFiles/esd_baselines.dir/baselines/common_neighbor.cc.o.d"
+  "CMakeFiles/esd_baselines.dir/baselines/vertex_diversity.cc.o"
+  "CMakeFiles/esd_baselines.dir/baselines/vertex_diversity.cc.o.d"
+  "CMakeFiles/esd_baselines.dir/baselines/vertex_diversity_index.cc.o"
+  "CMakeFiles/esd_baselines.dir/baselines/vertex_diversity_index.cc.o.d"
+  "libesd_baselines.a"
+  "libesd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

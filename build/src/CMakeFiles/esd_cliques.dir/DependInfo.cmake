@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cliques/four_clique.cc" "src/CMakeFiles/esd_cliques.dir/cliques/four_clique.cc.o" "gcc" "src/CMakeFiles/esd_cliques.dir/cliques/four_clique.cc.o.d"
+  "/root/repo/src/cliques/kclique.cc" "src/CMakeFiles/esd_cliques.dir/cliques/kclique.cc.o" "gcc" "src/CMakeFiles/esd_cliques.dir/cliques/kclique.cc.o.d"
+  "/root/repo/src/cliques/triangle.cc" "src/CMakeFiles/esd_cliques.dir/cliques/triangle.cc.o" "gcc" "src/CMakeFiles/esd_cliques.dir/cliques/triangle.cc.o.d"
+  "/root/repo/src/cliques/truss.cc" "src/CMakeFiles/esd_cliques.dir/cliques/truss.cc.o" "gcc" "src/CMakeFiles/esd_cliques.dir/cliques/truss.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/esd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/esd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

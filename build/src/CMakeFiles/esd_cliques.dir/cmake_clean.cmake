@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esd_cliques.dir/cliques/four_clique.cc.o"
+  "CMakeFiles/esd_cliques.dir/cliques/four_clique.cc.o.d"
+  "CMakeFiles/esd_cliques.dir/cliques/kclique.cc.o"
+  "CMakeFiles/esd_cliques.dir/cliques/kclique.cc.o.d"
+  "CMakeFiles/esd_cliques.dir/cliques/triangle.cc.o"
+  "CMakeFiles/esd_cliques.dir/cliques/triangle.cc.o.d"
+  "CMakeFiles/esd_cliques.dir/cliques/truss.cc.o"
+  "CMakeFiles/esd_cliques.dir/cliques/truss.cc.o.d"
+  "libesd_cliques.a"
+  "libesd_cliques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esd_cliques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

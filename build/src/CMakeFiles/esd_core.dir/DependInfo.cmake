@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dynamic_index.cc" "src/CMakeFiles/esd_core.dir/core/dynamic_index.cc.o" "gcc" "src/CMakeFiles/esd_core.dir/core/dynamic_index.cc.o.d"
+  "/root/repo/src/core/edge_dsu_arena.cc" "src/CMakeFiles/esd_core.dir/core/edge_dsu_arena.cc.o" "gcc" "src/CMakeFiles/esd_core.dir/core/edge_dsu_arena.cc.o.d"
+  "/root/repo/src/core/ego_network.cc" "src/CMakeFiles/esd_core.dir/core/ego_network.cc.o" "gcc" "src/CMakeFiles/esd_core.dir/core/ego_network.cc.o.d"
+  "/root/repo/src/core/esd_index.cc" "src/CMakeFiles/esd_core.dir/core/esd_index.cc.o" "gcc" "src/CMakeFiles/esd_core.dir/core/esd_index.cc.o.d"
+  "/root/repo/src/core/index_builder.cc" "src/CMakeFiles/esd_core.dir/core/index_builder.cc.o" "gcc" "src/CMakeFiles/esd_core.dir/core/index_builder.cc.o.d"
+  "/root/repo/src/core/index_io.cc" "src/CMakeFiles/esd_core.dir/core/index_io.cc.o" "gcc" "src/CMakeFiles/esd_core.dir/core/index_io.cc.o.d"
+  "/root/repo/src/core/naive_topk.cc" "src/CMakeFiles/esd_core.dir/core/naive_topk.cc.o" "gcc" "src/CMakeFiles/esd_core.dir/core/naive_topk.cc.o.d"
+  "/root/repo/src/core/online_topk.cc" "src/CMakeFiles/esd_core.dir/core/online_topk.cc.o" "gcc" "src/CMakeFiles/esd_core.dir/core/online_topk.cc.o.d"
+  "/root/repo/src/core/pair_diversity.cc" "src/CMakeFiles/esd_core.dir/core/pair_diversity.cc.o" "gcc" "src/CMakeFiles/esd_core.dir/core/pair_diversity.cc.o.d"
+  "/root/repo/src/core/parallel_builder.cc" "src/CMakeFiles/esd_core.dir/core/parallel_builder.cc.o" "gcc" "src/CMakeFiles/esd_core.dir/core/parallel_builder.cc.o.d"
+  "/root/repo/src/core/score_profile.cc" "src/CMakeFiles/esd_core.dir/core/score_profile.cc.o" "gcc" "src/CMakeFiles/esd_core.dir/core/score_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/esd_cliques.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/esd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/esd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esd_core.dir/core/dynamic_index.cc.o"
+  "CMakeFiles/esd_core.dir/core/dynamic_index.cc.o.d"
+  "CMakeFiles/esd_core.dir/core/edge_dsu_arena.cc.o"
+  "CMakeFiles/esd_core.dir/core/edge_dsu_arena.cc.o.d"
+  "CMakeFiles/esd_core.dir/core/ego_network.cc.o"
+  "CMakeFiles/esd_core.dir/core/ego_network.cc.o.d"
+  "CMakeFiles/esd_core.dir/core/esd_index.cc.o"
+  "CMakeFiles/esd_core.dir/core/esd_index.cc.o.d"
+  "CMakeFiles/esd_core.dir/core/index_builder.cc.o"
+  "CMakeFiles/esd_core.dir/core/index_builder.cc.o.d"
+  "CMakeFiles/esd_core.dir/core/index_io.cc.o"
+  "CMakeFiles/esd_core.dir/core/index_io.cc.o.d"
+  "CMakeFiles/esd_core.dir/core/naive_topk.cc.o"
+  "CMakeFiles/esd_core.dir/core/naive_topk.cc.o.d"
+  "CMakeFiles/esd_core.dir/core/online_topk.cc.o"
+  "CMakeFiles/esd_core.dir/core/online_topk.cc.o.d"
+  "CMakeFiles/esd_core.dir/core/pair_diversity.cc.o"
+  "CMakeFiles/esd_core.dir/core/pair_diversity.cc.o.d"
+  "CMakeFiles/esd_core.dir/core/parallel_builder.cc.o"
+  "CMakeFiles/esd_core.dir/core/parallel_builder.cc.o.d"
+  "CMakeFiles/esd_core.dir/core/score_profile.cc.o"
+  "CMakeFiles/esd_core.dir/core/score_profile.cc.o.d"
+  "libesd_core.a"
+  "libesd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

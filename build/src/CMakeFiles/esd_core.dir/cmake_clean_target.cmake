@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libesd_core.a"
+)

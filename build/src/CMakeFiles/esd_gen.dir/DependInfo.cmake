@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/barabasi_albert.cc" "src/CMakeFiles/esd_gen.dir/gen/barabasi_albert.cc.o" "gcc" "src/CMakeFiles/esd_gen.dir/gen/barabasi_albert.cc.o.d"
+  "/root/repo/src/gen/chung_lu.cc" "src/CMakeFiles/esd_gen.dir/gen/chung_lu.cc.o" "gcc" "src/CMakeFiles/esd_gen.dir/gen/chung_lu.cc.o.d"
+  "/root/repo/src/gen/collaboration.cc" "src/CMakeFiles/esd_gen.dir/gen/collaboration.cc.o" "gcc" "src/CMakeFiles/esd_gen.dir/gen/collaboration.cc.o.d"
+  "/root/repo/src/gen/datasets.cc" "src/CMakeFiles/esd_gen.dir/gen/datasets.cc.o" "gcc" "src/CMakeFiles/esd_gen.dir/gen/datasets.cc.o.d"
+  "/root/repo/src/gen/erdos_renyi.cc" "src/CMakeFiles/esd_gen.dir/gen/erdos_renyi.cc.o" "gcc" "src/CMakeFiles/esd_gen.dir/gen/erdos_renyi.cc.o.d"
+  "/root/repo/src/gen/holme_kim.cc" "src/CMakeFiles/esd_gen.dir/gen/holme_kim.cc.o" "gcc" "src/CMakeFiles/esd_gen.dir/gen/holme_kim.cc.o.d"
+  "/root/repo/src/gen/planted_partition.cc" "src/CMakeFiles/esd_gen.dir/gen/planted_partition.cc.o" "gcc" "src/CMakeFiles/esd_gen.dir/gen/planted_partition.cc.o.d"
+  "/root/repo/src/gen/rmat.cc" "src/CMakeFiles/esd_gen.dir/gen/rmat.cc.o" "gcc" "src/CMakeFiles/esd_gen.dir/gen/rmat.cc.o.d"
+  "/root/repo/src/gen/watts_strogatz.cc" "src/CMakeFiles/esd_gen.dir/gen/watts_strogatz.cc.o" "gcc" "src/CMakeFiles/esd_gen.dir/gen/watts_strogatz.cc.o.d"
+  "/root/repo/src/gen/word_association.cc" "src/CMakeFiles/esd_gen.dir/gen/word_association.cc.o" "gcc" "src/CMakeFiles/esd_gen.dir/gen/word_association.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/esd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/esd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

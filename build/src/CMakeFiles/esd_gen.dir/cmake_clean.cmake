@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esd_gen.dir/gen/barabasi_albert.cc.o"
+  "CMakeFiles/esd_gen.dir/gen/barabasi_albert.cc.o.d"
+  "CMakeFiles/esd_gen.dir/gen/chung_lu.cc.o"
+  "CMakeFiles/esd_gen.dir/gen/chung_lu.cc.o.d"
+  "CMakeFiles/esd_gen.dir/gen/collaboration.cc.o"
+  "CMakeFiles/esd_gen.dir/gen/collaboration.cc.o.d"
+  "CMakeFiles/esd_gen.dir/gen/datasets.cc.o"
+  "CMakeFiles/esd_gen.dir/gen/datasets.cc.o.d"
+  "CMakeFiles/esd_gen.dir/gen/erdos_renyi.cc.o"
+  "CMakeFiles/esd_gen.dir/gen/erdos_renyi.cc.o.d"
+  "CMakeFiles/esd_gen.dir/gen/holme_kim.cc.o"
+  "CMakeFiles/esd_gen.dir/gen/holme_kim.cc.o.d"
+  "CMakeFiles/esd_gen.dir/gen/planted_partition.cc.o"
+  "CMakeFiles/esd_gen.dir/gen/planted_partition.cc.o.d"
+  "CMakeFiles/esd_gen.dir/gen/rmat.cc.o"
+  "CMakeFiles/esd_gen.dir/gen/rmat.cc.o.d"
+  "CMakeFiles/esd_gen.dir/gen/watts_strogatz.cc.o"
+  "CMakeFiles/esd_gen.dir/gen/watts_strogatz.cc.o.d"
+  "CMakeFiles/esd_gen.dir/gen/word_association.cc.o"
+  "CMakeFiles/esd_gen.dir/gen/word_association.cc.o.d"
+  "libesd_gen.a"
+  "libesd_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esd_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cc" "src/CMakeFiles/esd_graph.dir/graph/builder.cc.o" "gcc" "src/CMakeFiles/esd_graph.dir/graph/builder.cc.o.d"
+  "/root/repo/src/graph/connectivity.cc" "src/CMakeFiles/esd_graph.dir/graph/connectivity.cc.o" "gcc" "src/CMakeFiles/esd_graph.dir/graph/connectivity.cc.o.d"
+  "/root/repo/src/graph/core_decomposition.cc" "src/CMakeFiles/esd_graph.dir/graph/core_decomposition.cc.o" "gcc" "src/CMakeFiles/esd_graph.dir/graph/core_decomposition.cc.o.d"
+  "/root/repo/src/graph/dynamic_graph.cc" "src/CMakeFiles/esd_graph.dir/graph/dynamic_graph.cc.o" "gcc" "src/CMakeFiles/esd_graph.dir/graph/dynamic_graph.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/esd_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/esd_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/esd_graph.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/esd_graph.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/orientation.cc" "src/CMakeFiles/esd_graph.dir/graph/orientation.cc.o" "gcc" "src/CMakeFiles/esd_graph.dir/graph/orientation.cc.o.d"
+  "/root/repo/src/graph/sampling.cc" "src/CMakeFiles/esd_graph.dir/graph/sampling.cc.o" "gcc" "src/CMakeFiles/esd_graph.dir/graph/sampling.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "src/CMakeFiles/esd_graph.dir/graph/stats.cc.o" "gcc" "src/CMakeFiles/esd_graph.dir/graph/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/esd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

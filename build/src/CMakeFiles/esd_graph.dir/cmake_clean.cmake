@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esd_graph.dir/graph/builder.cc.o"
+  "CMakeFiles/esd_graph.dir/graph/builder.cc.o.d"
+  "CMakeFiles/esd_graph.dir/graph/connectivity.cc.o"
+  "CMakeFiles/esd_graph.dir/graph/connectivity.cc.o.d"
+  "CMakeFiles/esd_graph.dir/graph/core_decomposition.cc.o"
+  "CMakeFiles/esd_graph.dir/graph/core_decomposition.cc.o.d"
+  "CMakeFiles/esd_graph.dir/graph/dynamic_graph.cc.o"
+  "CMakeFiles/esd_graph.dir/graph/dynamic_graph.cc.o.d"
+  "CMakeFiles/esd_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/esd_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/esd_graph.dir/graph/io.cc.o"
+  "CMakeFiles/esd_graph.dir/graph/io.cc.o.d"
+  "CMakeFiles/esd_graph.dir/graph/orientation.cc.o"
+  "CMakeFiles/esd_graph.dir/graph/orientation.cc.o.d"
+  "CMakeFiles/esd_graph.dir/graph/sampling.cc.o"
+  "CMakeFiles/esd_graph.dir/graph/sampling.cc.o.d"
+  "CMakeFiles/esd_graph.dir/graph/stats.cc.o"
+  "CMakeFiles/esd_graph.dir/graph/stats.cc.o.d"
+  "libesd_graph.a"
+  "libesd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for esd_graph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esd_util.dir/util/dsu.cc.o"
+  "CMakeFiles/esd_util.dir/util/dsu.cc.o.d"
+  "CMakeFiles/esd_util.dir/util/flat_map.cc.o"
+  "CMakeFiles/esd_util.dir/util/flat_map.cc.o.d"
+  "CMakeFiles/esd_util.dir/util/rng.cc.o"
+  "CMakeFiles/esd_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/esd_util.dir/util/thread_pool.cc.o"
+  "CMakeFiles/esd_util.dir/util/thread_pool.cc.o.d"
+  "CMakeFiles/esd_util.dir/util/timer.cc.o"
+  "CMakeFiles/esd_util.dir/util/timer.cc.o.d"
+  "libesd_util.a"
+  "libesd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

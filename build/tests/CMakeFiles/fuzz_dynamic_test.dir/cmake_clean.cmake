@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_dynamic_test.dir/fuzz_dynamic_test.cc.o"
+  "CMakeFiles/fuzz_dynamic_test.dir/fuzz_dynamic_test.cc.o.d"
+  "fuzz_dynamic_test"
+  "fuzz_dynamic_test.pdb"
+  "fuzz_dynamic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_dynamic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

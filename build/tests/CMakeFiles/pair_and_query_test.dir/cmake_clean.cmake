@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pair_and_query_test.dir/pair_and_query_test.cc.o"
+  "CMakeFiles/pair_and_query_test.dir/pair_and_query_test.cc.o.d"
+  "pair_and_query_test"
+  "pair_and_query_test.pdb"
+  "pair_and_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pair_and_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/score_profile_test.dir/score_profile_test.cc.o"
+  "CMakeFiles/score_profile_test.dir/score_profile_test.cc.o.d"
+  "score_profile_test"
+  "score_profile_test.pdb"
+  "score_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/score_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
