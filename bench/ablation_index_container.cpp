@@ -1,16 +1,24 @@
-// Ablation (google-benchmark): what the paper's choice of a self-balancing
-// BST for each H(c) list buys over a plain sorted vector.
-//   * Top-k scan: both are fast (vector wins on constants);
-//   * point insert/erase (the maintenance workload): the treap's O(log n)
-//     vs the vector's O(n) memmove — the reason Section V's maintenance
-//     needs a tree.
+// Ablation: what the paper's choice of a self-balancing BST for each H(c)
+// list buys over flat storage.
+//
+// Part 1 (whole-engine, run first): treap-backed EsdIndex vs its frozen
+// CSR-slab image serving the same top-k workload on real datasets —
+// latency and resident bytes, as a table plus {"bench":...} JSON lines.
+//
+// Part 2 (google-benchmark micro): container-level top-k scan and point
+// insert/erase (the maintenance workload): the treap's O(log n) vs the
+// vector's O(n) memmove — the reason Section V's maintenance needs a tree.
 
 #include <algorithm>
+#include <cstdio>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "core/esd_index.h"
+#include "core/frozen_index.h"
+#include "core/index_builder.h"
 #include "util/rng.h"
 #include "util/treap.h"
 
@@ -95,6 +103,39 @@ void BM_VectorChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_VectorChurn)->Arg(1000)->Arg(10000)->Arg(100000);
 
+// Whole-engine comparison: the same 4-clique build feeds both engines, so
+// any latency/memory gap is purely the serving container.
+void CompareEngines() {
+  const uint32_t k = 100, tau = 3;
+  std::printf("== engine comparison: Query(k=%u, tau=%u)\n", k, tau);
+  std::printf("%-12s %14s %14s %12s %12s\n", "dataset", "treap (ms)",
+              "frozen (ms)", "treap MiB", "frozen MiB");
+  for (const char* name : {"dblp-s", "youtube-s"}) {
+    esd::gen::Dataset d = esd::bench::Load(name);
+    esd::core::EsdIndex treap = esd::core::BuildIndexClique(d.graph);
+    esd::core::FrozenEsdIndex frozen = esd::core::Freeze(treap);
+    double treap_ms =
+        esd::bench::TimeMean([&] { treap.Query(k, tau); }) * 1e3;
+    double frozen_ms =
+        esd::bench::TimeMean([&] { frozen.Query(k, tau); }) * 1e3;
+    std::printf("%-12s %14.4f %14.4f %12.2f %12.2f\n", name, treap_ms,
+                frozen_ms, treap.MemoryBytes() / (1024.0 * 1024.0),
+                frozen.MemoryBytes() / (1024.0 * 1024.0));
+    esd::bench::EmitJson("ablation_index_container", "treap", name,
+                         "topk_k100_tau3", treap_ms, treap.MemoryBytes());
+    esd::bench::EmitJson("ablation_index_container", "frozen", name,
+                         "topk_k100_tau3", frozen_ms, frozen.MemoryBytes());
+  }
+  std::printf("\n");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  CompareEngines();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

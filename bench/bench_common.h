@@ -56,6 +56,21 @@ double TimeMean(Fn&& fn, int min_reps = 5, double min_seconds = 0.05) {
   return t.ElapsedSeconds() / reps;
 }
 
+/// One machine-readable result line on stdout, alongside the human tables:
+/// {"bench":...,"engine":...,"dataset":...,"op":...,"wall_ms":...,
+///  "bytes":...}. Harness scripts filter stdout for lines starting with
+/// '{"bench"'. `bytes` is the engine's MemoryBytes (0 for index-free
+/// engines).
+inline void EmitJson(const std::string& bench, const std::string& engine,
+                     const std::string& dataset, const std::string& op,
+                     double wall_ms, uint64_t bytes) {
+  std::printf(
+      "{\"bench\":\"%s\",\"engine\":\"%s\",\"dataset\":\"%s\","
+      "\"op\":\"%s\",\"wall_ms\":%.6f,\"bytes\":%llu}\n",
+      bench.c_str(), engine.c_str(), dataset.c_str(), op.c_str(), wall_ms,
+      static_cast<unsigned long long>(bytes));
+}
+
 }  // namespace esd::bench
 
 #endif  // ESD_BENCH_BENCH_COMMON_H_

@@ -1,29 +1,37 @@
 // Command-line tool: load a SNAP-format edge list (or generate a built-in
-// dataset), build the ESDIndex, and answer top-k structural diversity
-// queries.
+// dataset), build an ESD query engine, and answer top-k structural
+// diversity queries.
 //
 // Usage:
-//   esd_cli --file <edge_list> [--k 10] [--tau 2] [--online]
+//   esd_cli --file <edge_list> [--k 10] [--tau 2] [--engine NAME]
 //           [--save-index <path>] [--load-index <path>]
 //   esd_cli --dataset pokec-s [--scale 0.2] [--k 10] [--tau 2]
+//
+// Engines: treap (the paper's index), frozen (read-optimized serving
+// image), dynamic (maintained index), online / online-mindeg (index-free
+// BFS). --online is a shorthand for --engine online. --save-index writes
+// the v1 record format for treap and the v2 frozen format for frozen;
+// --load-index accepts either file version for either engine.
 //
 // Examples:
 //   build/examples/esd_cli --dataset dblp-s --scale 0.1 --k 5 --tau 2
 //   build/examples/esd_cli --file my_graph.txt --k 20 --tau 3 --online
-//   build/examples/esd_cli --dataset pokec-s --save-index pokec.esdx
-//   build/examples/esd_cli --dataset pokec-s --load-index pokec.esdx --k 5
+//   build/examples/esd_cli --dataset pokec-s --engine frozen --save-index p.esdx
+//   build/examples/esd_cli --dataset pokec-s --load-index p.esdx --k 5
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "cliques/triangle.h"
 #include "cliques/truss.h"
 #include "core/esd_index.h"
-#include "core/index_builder.h"
+#include "core/frozen_index.h"
 #include "core/index_io.h"
-#include "core/online_topk.h"
+#include "core/query_engine.h"
 #include "esd_version.h"
 #include "gen/datasets.h"
 #include "graph/connectivity.h"
@@ -37,10 +45,15 @@ void Usage() {
   std::fprintf(stderr,
                "esd_cli %s\n"
                "usage: esd_cli (--file <edge_list> | --dataset <name>)\n"
-               "               [--scale S] [--k K] [--tau T] [--online]\n"
-               "               [--stats] [--save-index P] [--load-index P]\n"
-               "datasets:",
+               "               [--scale S] [--k K] [--tau T] [--engine E]\n"
+               "               [--online] [--stats] [--save-index P]\n"
+               "               [--load-index P]\n"
+               "engines:",
                esd::kVersionString);
+  for (const std::string& name : esd::core::QueryEngineNames()) {
+    std::fprintf(stderr, " %s", name.c_str());
+  }
+  std::fprintf(stderr, "\ndatasets:");
   for (const std::string& name : esd::gen::StandardDatasetNames()) {
     std::fprintf(stderr, " %s", name.c_str());
   }
@@ -52,10 +65,10 @@ void Usage() {
 int main(int argc, char** argv) {
   using namespace esd;
 
-  std::string file, dataset, save_index, load_index;
+  std::string file, dataset, save_index, load_index, engine_name = "treap";
   double scale = 1.0;
   uint32_t k = 10, tau = 2;
-  bool online = false, stats = false;
+  bool stats = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -75,8 +88,10 @@ int main(int argc, char** argv) {
       k = static_cast<uint32_t>(std::atoi(next()));
     } else if (arg == "--tau") {
       tau = static_cast<uint32_t>(std::atoi(next()));
+    } else if (arg == "--engine") {
+      engine_name = next();
     } else if (arg == "--online") {
-      online = true;
+      engine_name = "online";
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--save-index") {
@@ -131,41 +146,69 @@ int main(int argc, char** argv) {
   }
 
   util::Timer timer;
-  core::TopKResult result;
-  if (online) {
-    result =
-        core::OnlineTopK(g, k, tau, core::UpperBoundRule::kCommonNeighbor);
-    std::printf("OnlineBFS+ query: %.1f ms\n", timer.ElapsedMillis());
-  } else {
-    core::EsdIndex index;
-    if (!load_index.empty()) {
-      std::string error;
+  std::unique_ptr<core::EsdQueryEngine> engine;
+  if (!load_index.empty()) {
+    std::string error;
+    if (engine_name == "treap") {
+      core::EsdIndex index;
       if (!core::LoadIndex(load_index, &index, &error)) {
         std::fprintf(stderr, "error: %s\n", error.c_str());
         return 1;
       }
-      std::printf("ESDIndex loaded from %s: %.1f ms (%zu lists, %llu "
-                  "entries)\n",
-                  load_index.c_str(), timer.ElapsedMillis(), index.NumLists(),
-                  static_cast<unsigned long long>(index.NumEntries()));
-    } else {
-      index = core::BuildIndexClique(g);
-      std::printf("ESDIndex+ build: %.1f ms (%zu lists, %llu entries)\n",
-                  timer.ElapsedMillis(), index.NumLists(),
-                  static_cast<unsigned long long>(index.NumEntries()));
-    }
-    if (!save_index.empty()) {
-      std::string error;
-      if (!core::SaveIndex(index, save_index, &error)) {
+      engine = std::make_unique<core::EsdIndex>(std::move(index));
+    } else if (engine_name == "frozen") {
+      core::FrozenEsdIndex index;
+      if (!core::LoadFrozenIndex(load_index, &index, &error)) {
         std::fprintf(stderr, "error: %s\n", error.c_str());
         return 1;
       }
-      std::printf("index saved to %s\n", save_index.c_str());
+      engine = std::make_unique<core::FrozenEsdIndex>(std::move(index));
+    } else {
+      std::fprintf(stderr,
+                   "error: --load-index requires --engine treap or frozen\n");
+      return 2;
     }
-    timer.Reset();
-    result = index.Query(k, tau);
-    std::printf("IndexSearch query: %.3f ms\n", timer.ElapsedMillis());
+    std::printf("%s engine loaded from %s: %.1f ms\n", engine_name.c_str(),
+                load_index.c_str(), timer.ElapsedMillis());
+  } else {
+    std::string error;
+    engine = core::BuildQueryEngine(g, engine_name, &error);
+    if (engine == nullptr) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("%s engine build: %.1f ms\n", engine_name.c_str(),
+                timer.ElapsedMillis());
   }
+  std::printf("engine memory: %.2f MiB\n",
+              static_cast<double>(engine->MemoryBytes()) / (1024.0 * 1024.0));
+
+  if (!save_index.empty()) {
+    std::string error;
+    bool ok;
+    // The file version follows the engine: treap writes v1 records, frozen
+    // writes the v2 array image (either loads back into either engine).
+    if (auto* treap = dynamic_cast<const core::EsdIndex*>(engine.get())) {
+      ok = core::SaveIndex(*treap, save_index, &error);
+    } else if (auto* frozen =
+                   dynamic_cast<const core::FrozenEsdIndex*>(engine.get())) {
+      ok = core::SaveFrozenIndex(*frozen, save_index, &error);
+    } else {
+      std::fprintf(stderr,
+                   "error: --save-index requires --engine treap or frozen\n");
+      return 2;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("index saved to %s\n", save_index.c_str());
+  }
+
+  timer.Reset();
+  core::TopKResult result = engine->Query(k, tau);
+  std::printf("%s query: %.3f ms\n", engine_name.c_str(),
+              timer.ElapsedMillis());
 
   std::printf("\ntop-%u edges (tau=%u):\n", k, tau);
   std::printf("%-6s %-14s %s\n", "rank", "edge", "score");

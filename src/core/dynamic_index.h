@@ -34,7 +34,11 @@ enum class DeletionStrategy {
 /// The key locality property (Observations 2 and 3): an update of edge
 /// (u, v) only touches edges of the subgraph Ĝ_{N(uv)} induced by
 /// N(uv) ∪ {u, v}.
-class DynamicEsdIndex {
+///
+/// As an EsdQueryEngine the class delegates every read to the maintained
+/// EsdIndex, so a dynamic deployment serves the exact same answers as a
+/// static one built on the current graph.
+class DynamicEsdIndex final : public EsdQueryEngine {
  public:
   /// Bootstraps from a static snapshot using the 4-clique builder.
   explicit DynamicEsdIndex(
@@ -75,13 +79,32 @@ class DynamicEsdIndex {
 
   /// Top-k query against the maintained index. O(k log m + log n).
   TopKResult Query(uint32_t k, uint32_t tau,
-                   bool pad_with_zero_edges = true) const {
+                   bool pad_with_zero_edges = true) const override {
     return index_.Query(k, tau, pad_with_zero_edges);
   }
 
   /// Structural diversity of edge {u, v} at threshold tau, from the
   /// maintained multiset. Edge must exist.
   uint32_t ScoreOf(graph::VertexId u, graph::VertexId v, uint32_t tau) const;
+
+  /// EsdQueryEngine reads, delegated to the maintained index. Edge ids are
+  /// the maintained index's dense ids (stable across updates that do not
+  /// remove the edge).
+  uint32_t ScoreOf(graph::EdgeId e, uint32_t tau) const override {
+    return index_.ScoreOf(e, tau);
+  }
+  uint64_t CountWithScoreAtLeast(uint32_t tau,
+                                 uint32_t min_score) const override {
+    return index_.CountWithScoreAtLeast(tau, min_score);
+  }
+  TopKResult QueryWithScoreAtLeast(uint32_t tau, uint32_t min_score,
+                                   size_t limit = 0) const override {
+    return index_.QueryWithScoreAtLeast(tau, min_score, limit);
+  }
+  /// Bytes of the maintained index payload (the serving structure; the
+  /// per-edge DSU maintenance state is not counted).
+  uint64_t MemoryBytes() const override { return index_.MemoryBytes(); }
+  std::string_view EngineName() const override { return "dynamic"; }
 
   /// Current graph.
   const graph::DynamicGraph& CurrentGraph() const { return graph_; }

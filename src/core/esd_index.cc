@@ -174,6 +174,8 @@ TopKResult EsdIndex::Query(uint32_t k, uint32_t tau,
     });
   }
   if (pad_with_zero_edges && out.size() < k) {
+    // Documented deterministic padding order: lowest-id live edges first,
+    // skipping edges already reported (FrozenEsdIndex pads identically).
     util::FlatSet<EdgeId> included(taken.size());
     for (EdgeId e : taken) included.Insert(e);
     for (EdgeId e = 0; e < edges_.size() && out.size() < k; ++e) {

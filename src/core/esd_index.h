@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "core/query_engine.h"
 #include "core/topk_result.h"
 #include "graph/graph.h"
 #include "util/treap.h"
@@ -31,7 +32,11 @@ namespace esd::core {
 ///   H(c) = { (score_c(e), e) : max(C_e) >= c },  score_c(e) = |{s in C_e :
 ///   s >= c}|,
 /// and C = { s : some edge has a component of size s }.
-class EsdIndex {
+///
+/// For serving-only deployments, Freeze() (core/frozen_index.h) converts
+/// this structure into the flat, read-optimized FrozenEsdIndex; both
+/// implement the EsdQueryEngine interface with identical query semantics.
+class EsdIndex : public EsdQueryEngine {
  public:
   /// An entry of a sorted list H(c): ordered by score descending, then edge
   /// id ascending.
@@ -96,24 +101,27 @@ class EsdIndex {
   /// O(k log m + log n).
   ///
   /// If fewer than k edges have positive score and `pad_with_zero_edges` is
-  /// true, arbitrary registered edges with score 0 fill the remainder
-  /// (parity with the online algorithms, which always return min(k, m)
-  /// edges).
+  /// true, zero-score live edges fill the remainder in ascending edge-id
+  /// order, skipping edges already reported — a documented deterministic
+  /// order (parity with the online algorithms, which always return
+  /// min(k, m) edges, and with FrozenEsdIndex, which pads identically so
+  /// engine-parity tests can compare exact results).
   TopKResult Query(uint32_t k, uint32_t tau,
-                   bool pad_with_zero_edges = true) const;
+                   bool pad_with_zero_edges = true) const override;
 
   /// Score of edge `e` at threshold tau, from the stored multiset. O(log).
-  uint32_t ScoreOf(graph::EdgeId e, uint32_t tau) const;
+  uint32_t ScoreOf(graph::EdgeId e, uint32_t tau) const override;
 
   /// Number of edges whose structural diversity at threshold tau is
   /// >= min_score. O(log m) via the order statistics of H(c*). A
   /// min_score of 0 counts every registered edge.
-  uint64_t CountWithScoreAtLeast(uint32_t tau, uint32_t min_score) const;
+  uint64_t CountWithScoreAtLeast(uint32_t tau,
+                                 uint32_t min_score) const override;
 
   /// All edges with score >= min_score at threshold tau (at most `limit`,
   /// 0 = unlimited), descending score. min_score must be >= 1.
   TopKResult QueryWithScoreAtLeast(uint32_t tau, uint32_t min_score,
-                                   size_t limit = 0) const;
+                                   size_t limit = 0) const override;
 
   // ---- Introspection -------------------------------------------------------
 
@@ -128,7 +136,10 @@ class EsdIndex {
 
   /// Approximate resident bytes of the index payload (list nodes + stored
   /// size multisets), the quantity plotted in Fig. 6(a).
-  uint64_t MemoryBytes() const;
+  uint64_t MemoryBytes() const override;
+
+  /// Engine selector key for this implementation.
+  std::string_view EngineName() const override { return "treap"; }
 
   /// Invokes fn(c, list) for every list, ascending c.
   template <typename Fn>

@@ -1,0 +1,331 @@
+#include "core/frozen_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "core/esd_index.h"
+#include "util/flat_map.h"
+
+namespace esd::core {
+
+using graph::Edge;
+using graph::EdgeId;
+
+namespace {
+
+/// Canonical slab order: score descending, then edge id ascending — the
+/// same total order EsdIndex::EntryLess imposes on the treaps.
+bool EntryBefore(const FrozenEsdIndex::Entry& a,
+                 const FrozenEsdIndex::Entry& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.e < b.e;
+}
+
+uint32_t ScoreAt(std::span<const uint32_t> sizes, uint32_t c) {
+  return static_cast<uint32_t>(
+      sizes.end() - std::lower_bound(sizes.begin(), sizes.end(), c));
+}
+
+}  // namespace
+
+FrozenEsdIndex FrozenEsdIndex::FromEdgeSizes(
+    std::vector<Edge> edges, std::vector<std::vector<uint32_t>> sizes_per_edge,
+    std::vector<uint8_t> live) {
+  FrozenEsdIndex out;
+  const size_t n = edges.size();
+  assert(sizes_per_edge.size() == n);
+  out.edges_ = std::move(edges);
+  out.live_ = live.empty() ? std::vector<uint8_t>(n, 1) : std::move(live);
+  assert(out.live_.size() == n);
+  for (size_t e = 0; e < n; ++e) {
+    assert(std::is_sorted(sizes_per_edge[e].begin(), sizes_per_edge[e].end()));
+    if (!out.live_[e]) sizes_per_edge[e].clear();  // freed slots carry nothing
+    if (out.live_[e]) ++out.num_live_;
+  }
+
+  // Pack the per-edge multisets into one CSR pool.
+  out.size_offsets_.resize(n + 1);
+  uint64_t total_sizes = 0;
+  for (size_t e = 0; e < n; ++e) {
+    out.size_offsets_[e] = total_sizes;
+    total_sizes += sizes_per_edge[e].size();
+  }
+  out.size_offsets_[n] = total_sizes;
+  out.size_pool_.reserve(total_sizes);
+  for (size_t e = 0; e < n; ++e) {
+    out.size_pool_.insert(out.size_pool_.end(), sizes_per_edge[e].begin(),
+                          sizes_per_edge[e].end());
+  }
+
+  // The distinct size set C, ascending.
+  out.sizes_ = out.size_pool_;
+  std::sort(out.sizes_.begin(), out.sizes_.end());
+  out.sizes_.erase(std::unique(out.sizes_.begin(), out.sizes_.end()),
+                   out.sizes_.end());
+  const size_t num_c = out.sizes_.size();
+
+  // |H(c_i)| = #{edges with max(C_e) >= c_i}: bucket edges by the index of
+  // their maximum size, then suffix-sum.
+  std::vector<std::vector<EdgeId>> by_max(num_c);
+  for (size_t e = 0; e < n; ++e) {
+    if (sizes_per_edge[e].empty()) continue;
+    size_t idx = static_cast<size_t>(
+        std::lower_bound(out.sizes_.begin(), out.sizes_.end(),
+                         sizes_per_edge[e].back()) -
+        out.sizes_.begin());
+    by_max[idx].push_back(static_cast<EdgeId>(e));
+  }
+  out.offsets_.assign(num_c + 1, 0);
+  {
+    uint64_t suffix = 0;
+    std::vector<uint64_t> slab_len(num_c, 0);
+    for (size_t i = num_c; i-- > 0;) {
+      suffix += by_max[i].size();
+      slab_len[i] = suffix;
+    }
+    for (size_t i = 0; i < num_c; ++i) {
+      out.offsets_[i + 1] = out.offsets_[i] + slab_len[i];
+    }
+  }
+  out.entries_.resize(out.offsets_[num_c]);
+
+  // Sweep c from largest to smallest keeping the active set (edges with
+  // max >= c), emitting each slab as one sorted run — the same sweep as
+  // EsdIndex::BulkLoad, but into flat storage instead of treaps.
+  std::vector<EdgeId> active;
+  std::vector<Entry> run;
+  for (size_t i = num_c; i-- > 0;) {
+    active.insert(active.end(), by_max[i].begin(), by_max[i].end());
+    const uint32_t c = out.sizes_[i];
+    run.clear();
+    run.reserve(active.size());
+    for (EdgeId e : active) {
+      run.push_back(Entry{ScoreAt(out.EdgeSizes(e), c), e});
+    }
+    std::sort(run.begin(), run.end(), EntryBefore);
+    assert(run.size() == out.offsets_[i + 1] - out.offsets_[i]);
+    std::copy(run.begin(), run.end(), out.entries_.begin() + out.offsets_[i]);
+  }
+  return out;
+}
+
+bool FrozenEsdIndex::Adopt(Parts parts, FrozenEsdIndex* out,
+                           std::string* error) {
+  auto fail = [error](const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  const size_t n = parts.edges.size();
+  if (parts.live.size() != n) return fail("frozen index: live mask size");
+  if (parts.size_offsets.size() != n + 1 || parts.size_offsets[0] != 0 ||
+      parts.size_offsets[n] != parts.size_pool.size()) {
+    return fail("frozen index: size-offset table malformed");
+  }
+  uint64_t num_live = 0;
+  for (size_t e = 0; e < n; ++e) {
+    const uint64_t lo = parts.size_offsets[e], hi = parts.size_offsets[e + 1];
+    if (lo > hi) return fail("frozen index: size offsets not monotone");
+    if (parts.live[e] == 0 && lo != hi) {
+      return fail("frozen index: freed slot with non-empty multiset");
+    }
+    num_live += parts.live[e] != 0 ? 1 : 0;
+    uint32_t prev = 0;
+    for (uint64_t i = lo; i < hi; ++i) {
+      if (parts.size_pool[i] == 0 || parts.size_pool[i] < prev) {
+        return fail("frozen index: multiset not sorted/positive");
+      }
+      prev = parts.size_pool[i];
+    }
+  }
+  // C must be exactly the distinct sizes occurring in the pool.
+  {
+    std::vector<uint32_t> want = parts.size_pool;
+    std::sort(want.begin(), want.end());
+    want.erase(std::unique(want.begin(), want.end()), want.end());
+    if (want != parts.sizes) {
+      return fail("frozen index: size set C does not match multisets");
+    }
+  }
+  const size_t num_c = parts.sizes.size();
+  if (parts.offsets.size() != num_c + 1 || parts.offsets[0] != 0 ||
+      parts.offsets[num_c] != parts.entries.size()) {
+    return fail("frozen index: slab offset table malformed");
+  }
+  // Expected |H(c_i)| = #{edges with max(C_e) >= c_i}: bucket each edge by
+  // the index of its maximum size, then suffix-sum.
+  std::vector<uint64_t> expected_len(num_c + 1, 0);
+  for (size_t e = 0; e < n; ++e) {
+    const uint64_t shi = parts.size_offsets[e + 1];
+    if (parts.size_offsets[e] == shi) continue;
+    size_t idx = static_cast<size_t>(
+        std::lower_bound(parts.sizes.begin(), parts.sizes.end(),
+                         parts.size_pool[shi - 1]) -
+        parts.sizes.begin());
+    ++expected_len[idx];
+  }
+  for (size_t i = num_c; i-- > 0;) expected_len[i] += expected_len[i + 1];
+  // Validate each slab: strict canonical order, in-range live edges, and
+  // scores consistent with the stored multisets. Completeness (every edge
+  // with max >= c present) follows from the slab-length check: strict
+  // order makes entries distinct, and each must have max >= c.
+  for (size_t i = 0; i < num_c; ++i) {
+    const uint32_t c = parts.sizes[i];
+    const uint64_t lo = parts.offsets[i], hi = parts.offsets[i + 1];
+    if (lo > hi) return fail("frozen index: slab offsets not monotone");
+    if (hi - lo != expected_len[i]) {
+      return fail("frozen index: slab length wrong");
+    }
+    for (uint64_t j = lo; j < hi; ++j) {
+      const Entry& entry = parts.entries[j];
+      if (j > lo && !EntryBefore(parts.entries[j - 1], entry)) {
+        return fail("frozen index: slab not in canonical order");
+      }
+      if (entry.e >= n || parts.live[entry.e] == 0) {
+        return fail("frozen index: slab entry references bad edge");
+      }
+      std::span<const uint32_t> sizes{
+          parts.size_pool.data() + parts.size_offsets[entry.e],
+          parts.size_pool.data() + parts.size_offsets[entry.e + 1]};
+      if (entry.score != ScoreAt(sizes, c) || entry.score == 0) {
+        return fail("frozen index: slab score inconsistent with multiset");
+      }
+    }
+  }
+  out->edges_ = std::move(parts.edges);
+  out->live_ = std::move(parts.live);
+  out->size_offsets_ = std::move(parts.size_offsets);
+  out->size_pool_ = std::move(parts.size_pool);
+  out->sizes_ = std::move(parts.sizes);
+  out->offsets_ = std::move(parts.offsets);
+  out->entries_ = std::move(parts.entries);
+  out->num_live_ = num_live;
+  return true;
+}
+
+TopKResult FrozenEsdIndex::Query(uint32_t k, uint32_t tau,
+                                 bool pad_with_zero_edges) const {
+  TopKResult out;
+  if (k == 0 || tau == 0) return out;
+  auto it = std::lower_bound(sizes_.begin(), sizes_.end(), tau);
+  std::span<const Entry> slab;
+  if (it != sizes_.end()) {
+    slab = ListAt(static_cast<size_t>(it - sizes_.begin()));
+  }
+  const size_t take = std::min<size_t>(k, slab.size());
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    out.push_back(ScoredEdge{edges_[slab[i].e], slab[i].score});
+  }
+  if (pad_with_zero_edges && out.size() < k) {
+    util::FlatSet<EdgeId> included(take);
+    for (size_t i = 0; i < take; ++i) included.Insert(slab[i].e);
+    for (EdgeId e = 0; e < edges_.size() && out.size() < k; ++e) {
+      if (live_[e] && !included.Contains(e)) {
+        out.push_back(ScoredEdge{edges_[e], 0});
+      }
+    }
+  }
+  return out;
+}
+
+uint32_t FrozenEsdIndex::ScoreOf(EdgeId e, uint32_t tau) const {
+  return ScoreAt(EdgeSizes(e), tau);
+}
+
+uint64_t FrozenEsdIndex::CountWithScoreAtLeast(uint32_t tau,
+                                               uint32_t min_score) const {
+  if (min_score == 0) return num_live_;
+  if (tau == 0) return 0;
+  auto it = std::lower_bound(sizes_.begin(), sizes_.end(), tau);
+  if (it == sizes_.end()) return 0;
+  std::span<const Entry> slab =
+      ListAt(static_cast<size_t>(it - sizes_.begin()));
+  // Scores are descending, so the >= min_score prefix is a partition point.
+  auto pos = std::partition_point(
+      slab.begin(), slab.end(),
+      [min_score](const Entry& x) { return x.score >= min_score; });
+  return static_cast<uint64_t>(pos - slab.begin());
+}
+
+TopKResult FrozenEsdIndex::QueryWithScoreAtLeast(uint32_t tau,
+                                                 uint32_t min_score,
+                                                 size_t limit) const {
+  TopKResult out;
+  if (tau == 0 || min_score == 0) return out;
+  auto it = std::lower_bound(sizes_.begin(), sizes_.end(), tau);
+  if (it == sizes_.end()) return out;
+  for (const Entry& entry : ListAt(static_cast<size_t>(it - sizes_.begin()))) {
+    if (entry.score < min_score) break;
+    if (limit > 0 && out.size() >= limit) break;
+    out.push_back(ScoredEdge{edges_[entry.e], entry.score});
+  }
+  return out;
+}
+
+uint64_t FrozenEsdIndex::MemoryBytes() const {
+  return entries_.size() * sizeof(Entry) +
+         size_pool_.size() * sizeof(uint32_t) +
+         sizes_.size() * sizeof(uint32_t) +
+         offsets_.size() * sizeof(uint64_t) +
+         size_offsets_.size() * sizeof(uint64_t) +
+         edges_.size() * sizeof(Edge) + live_.size() * sizeof(uint8_t);
+}
+
+bool operator==(const FrozenEsdIndex& a, const FrozenEsdIndex& b) {
+  return a.edges_ == b.edges_ && a.live_ == b.live_ &&
+         a.size_offsets_ == b.size_offsets_ && a.size_pool_ == b.size_pool_ &&
+         a.sizes_ == b.sizes_ && a.offsets_ == b.offsets_ &&
+         a.entries_ == b.entries_;
+}
+
+FrozenEsdIndex Freeze(const EsdIndex& index) {
+  const size_t slots = index.EdgeSlotCount();
+  std::vector<Edge> edges;
+  std::vector<std::vector<uint32_t>> sizes;
+  std::vector<uint8_t> live;
+  edges.reserve(slots);
+  sizes.reserve(slots);
+  live.reserve(slots);
+  for (EdgeId e = 0; e < slots; ++e) {
+    edges.push_back(index.EdgeAt(e));
+    sizes.push_back(index.EdgeSizes(e));
+    live.push_back(index.IsLive(e) ? 1 : 0);
+  }
+  return FrozenEsdIndex::FromEdgeSizes(std::move(edges), std::move(sizes),
+                                       std::move(live));
+}
+
+EsdIndex Thaw(const FrozenEsdIndex& frozen) {
+  const size_t slots = frozen.EdgeSlotCount();
+  bool all_live = frozen.NumRegisteredEdges() == slots;
+  EsdIndex out;
+  if (all_live) {
+    std::vector<Edge> edges(frozen.Edges().begin(), frozen.Edges().end());
+    std::vector<std::vector<uint32_t>> sizes;
+    sizes.reserve(slots);
+    for (EdgeId e = 0; e < slots; ++e) {
+      std::span<const uint32_t> s = frozen.EdgeSizes(e);
+      sizes.emplace_back(s.begin(), s.end());
+    }
+    out.BulkLoad(std::move(edges), std::move(sizes));
+  } else {
+    // Register every slot first so ids stay sequential, then free the dead
+    // ones — identical to the v1 deserialization replay.
+    for (EdgeId e = 0; e < slots; ++e) {
+      EdgeId got = out.RegisterEdge(frozen.EdgeAt(e));
+      assert(got == e);
+      (void)got;
+      if (frozen.IsLive(e)) {
+        std::span<const uint32_t> s = frozen.EdgeSizes(e);
+        out.SetEdgeSizes(e, std::vector<uint32_t>(s.begin(), s.end()));
+      }
+    }
+    for (EdgeId e = 0; e < slots; ++e) {
+      if (!frozen.IsLive(e)) out.UnregisterEdge(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace esd::core

@@ -35,7 +35,13 @@ EsdIndex BuildIndexBasicFast(const Graph& g) {
   return index;
 }
 
-EsdIndex BuildIndexClique(const Graph& g, std::vector<KeyedDsu>* m_out) {
+namespace {
+
+// Algorithm 3 minus the H build: per-edge component-size multisets via one
+// 4-clique enumeration over the degree-ordered DAG. Shared by the treap and
+// frozen output paths.
+std::vector<std::vector<uint32_t>> CliqueComponentSizes(
+    const Graph& g, std::vector<KeyedDsu>* m_out) {
   const EdgeId m = g.NumEdges();
   // Lines 1-4 of Algorithm 3: one disjoint-set structure per edge, seeded
   // with the common neighborhood as singletons (arena-packed).
@@ -53,18 +59,28 @@ EsdIndex BuildIndexClique(const Graph& g, std::vector<KeyedDsu>* m_out) {
     dsu.Union(q.w1w2, q.u, q.v);
   });
 
-  // Lines 16-23: read component sizes off the disjoint sets and build H.
+  // Lines 16-23 (first half): read component sizes off the disjoint sets.
   std::vector<std::vector<uint32_t>> sizes(m);
   for (EdgeId e = 0; e < m; ++e) sizes[e] = dsu.ComponentSizes(e);
-
-  EsdIndex index;
-  index.BulkLoad(g.Edges(), std::move(sizes));
   if (m_out != nullptr) {
     m_out->clear();
     m_out->reserve(m);
     for (EdgeId e = 0; e < m; ++e) m_out->push_back(dsu.ToKeyedDsu(e));
   }
+  return sizes;
+}
+
+}  // namespace
+
+EsdIndex BuildIndexClique(const Graph& g, std::vector<KeyedDsu>* m_out) {
+  EsdIndex index;
+  index.BulkLoad(g.Edges(), CliqueComponentSizes(g, m_out));
   return index;
+}
+
+FrozenEsdIndex BuildFrozenIndex(const Graph& g) {
+  return FrozenEsdIndex::FromEdgeSizes(g.Edges(),
+                                       CliqueComponentSizes(g, nullptr));
 }
 
 }  // namespace esd::core

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/esd_index.h"
+#include "core/frozen_index.h"
 #include "graph/graph.h"
 #include "util/dsu.h"
 
@@ -28,6 +29,12 @@ EsdIndex BuildIndexBasicFast(const graph::Graph& g);
 /// (indexed by EdgeId), which the dynamic index maintains incrementally.
 EsdIndex BuildIndexClique(const graph::Graph& g,
                           std::vector<util::KeyedDsu>* m_out = nullptr);
+
+/// Frozen-output path of the 4-clique builder: the per-edge component-size
+/// multisets are emitted straight into the CSR slabs of a FrozenEsdIndex,
+/// skipping treap construction entirely. Identical query answers to
+/// Freeze(BuildIndexClique(g)) with one fewer intermediate structure.
+FrozenEsdIndex BuildFrozenIndex(const graph::Graph& g);
 
 }  // namespace esd::core
 

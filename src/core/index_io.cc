@@ -3,9 +3,11 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
-#include <type_traits>
 #include <istream>
 #include <ostream>
+#include <span>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace esd::core {
@@ -13,7 +15,8 @@ namespace esd::core {
 namespace {
 
 constexpr char kMagic[4] = {'E', 'S', 'D', 'X'};
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionRecords = 1;  // per-slot records, treaps rebuilt
+constexpr uint32_t kVersionFrozen = 2;   // frozen arrays written verbatim
 
 // Running FNV-1a over serialized payload bytes.
 class Checksummer {
@@ -45,6 +48,14 @@ class Writer {
     out_.write(static_cast<const char*>(data), static_cast<long>(n));
     sum_.Feed(data, n);
   }
+  /// Length-prefixed contiguous block: u64 element count, then the elements
+  /// as one raw write.
+  template <typename T>
+  void PutArray(std::span<const T> a) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Put(static_cast<uint64_t>(a.size()));
+    if (!a.empty()) PutRaw(a.data(), a.size() * sizeof(T));
+  }
   uint64_t checksum() const { return sum_.value(); }
   bool ok() const { return static_cast<bool>(out_); }
 
@@ -65,6 +76,20 @@ class Reader {
     sum_.Feed(value, sizeof(T));
     return true;
   }
+  bool GetRaw(void* data, size_t n) {
+    in_.read(static_cast<char*>(data), static_cast<long>(n));
+    if (!in_) return false;
+    sum_.Feed(data, n);
+    return true;
+  }
+  template <typename T>
+  bool GetArray(std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t n = 0;
+    if (!Get(&n)) return false;
+    out->resize(n);
+    return n == 0 || GetRaw(out->data(), n * sizeof(T));
+  }
   uint64_t checksum() const { return sum_.value(); }
 
  private:
@@ -72,12 +97,154 @@ class Reader {
   Checksummer sum_;
 };
 
+/// Reads magic + version. Returns 0 (with *error set) on failure.
+uint32_t ReadHeader(std::istream& in, std::string* error) {
+  auto fail = [error](const char* what) {
+    if (error != nullptr) *error = what;
+    return 0u;
+  };
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return fail("bad magic: not an ESDIndex file");
+  }
+  uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in ||
+      (version != kVersionRecords && version != kVersionFrozen)) {
+    return fail("unsupported index version");
+  }
+  return version;
+}
+
+/// One v1 slot record.
+struct Record {
+  graph::Edge edge;
+  bool live;
+  std::vector<uint32_t> sizes;
+};
+
+/// Reads the v1 payload (after the header) and verifies the checksum.
+bool ReadV1Records(std::istream& in, std::vector<Record>* out,
+                   std::string* error) {
+  auto fail = [error](const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  Reader r(in);
+  uint64_t slots = 0;
+  if (!r.Get(&slots)) return fail("truncated index file");
+  std::vector<Record> records;
+  records.reserve(slots);
+  for (uint64_t i = 0; i < slots; ++i) {
+    Record rec;
+    uint8_t live = 0;
+    uint32_t count = 0;
+    if (!r.Get(&rec.edge.u) || !r.Get(&rec.edge.v) || !r.Get(&live) ||
+        !r.Get(&count)) {
+      return fail("truncated index file");
+    }
+    rec.live = live != 0;
+    rec.sizes.resize(count);
+    uint32_t prev = 0;
+    for (uint32_t j = 0; j < count; ++j) {
+      if (!r.Get(&rec.sizes[j])) return fail("truncated index file");
+      if (rec.sizes[j] < prev || rec.sizes[j] == 0) {
+        return fail("corrupt index file: size multiset not sorted/positive");
+      }
+      prev = rec.sizes[j];
+    }
+    records.push_back(std::move(rec));
+  }
+  uint64_t stored_checksum = 0;
+  in.read(reinterpret_cast<char*>(&stored_checksum), sizeof(stored_checksum));
+  if (!in || stored_checksum != r.checksum()) {
+    return fail("checksum mismatch: index file corrupt");
+  }
+  *out = std::move(records);
+  return true;
+}
+
+/// Reads the v2 payload (after the header) and verifies the checksum. The
+/// parts still need FrozenEsdIndex::Adopt validation afterwards.
+bool ReadV2Parts(std::istream& in, FrozenEsdIndex::Parts* out,
+                 std::string* error) {
+  auto fail = [error](const char* what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  Reader r(in);
+  FrozenEsdIndex::Parts parts;
+  if (!r.GetArray(&parts.edges) || !r.GetArray(&parts.live) ||
+      !r.GetArray(&parts.size_offsets) || !r.GetArray(&parts.size_pool) ||
+      !r.GetArray(&parts.sizes) || !r.GetArray(&parts.offsets) ||
+      !r.GetArray(&parts.entries)) {
+    return fail("truncated index file");
+  }
+  uint64_t stored_checksum = 0;
+  in.read(reinterpret_cast<char*>(&stored_checksum), sizeof(stored_checksum));
+  if (!in || stored_checksum != r.checksum()) {
+    return fail("checksum mismatch: index file corrupt");
+  }
+  *out = std::move(parts);
+  return true;
+}
+
+/// Reassembles an EsdIndex from v1 records, reproducing the exact edge-id
+/// layout (freed slots stay freed).
+EsdIndex IndexFromRecords(std::vector<Record> records) {
+  bool all_live = true;
+  for (const Record& rec : records) all_live &= rec.live;
+  EsdIndex fresh;
+  if (all_live) {
+    // Fast path: all slots live -> BulkLoad.
+    std::vector<graph::Edge> edges;
+    std::vector<std::vector<uint32_t>> sizes;
+    edges.reserve(records.size());
+    sizes.reserve(records.size());
+    for (Record& rec : records) {
+      edges.push_back(rec.edge);
+      sizes.push_back(std::move(rec.sizes));
+    }
+    fresh.BulkLoad(std::move(edges), std::move(sizes));
+  } else {
+    // Register every slot first so ids stay sequential (RegisterEdge would
+    // otherwise recycle freed ids mid-replay), then free the dead slots.
+    for (Record& rec : records) {
+      graph::EdgeId e = fresh.RegisterEdge(rec.edge);
+      if (rec.live) fresh.SetEdgeSizes(e, std::move(rec.sizes));
+    }
+    for (graph::EdgeId e = 0; e < records.size(); ++e) {
+      if (!records[e].live) fresh.UnregisterEdge(e);
+    }
+  }
+  return fresh;
+}
+
+/// Builds the frozen image from v1 records (the one-time slab build a v1
+/// file pays when loaded into the serving layer).
+FrozenEsdIndex FrozenFromRecords(std::vector<Record> records) {
+  std::vector<graph::Edge> edges;
+  std::vector<std::vector<uint32_t>> sizes;
+  std::vector<uint8_t> live;
+  edges.reserve(records.size());
+  sizes.reserve(records.size());
+  live.reserve(records.size());
+  for (Record& rec : records) {
+    edges.push_back(rec.edge);
+    sizes.push_back(std::move(rec.sizes));
+    live.push_back(rec.live ? 1 : 0);
+  }
+  return FrozenEsdIndex::FromEdgeSizes(std::move(edges), std::move(sizes),
+                                       std::move(live));
+}
+
 }  // namespace
 
 bool SerializeIndex(const EsdIndex& index, std::ostream& out,
                     std::string* error) {
   out.write(kMagic, sizeof(kMagic));
-  uint32_t version = kVersion;
+  uint32_t version = kVersionRecords;
   out.write(reinterpret_cast<const char*>(&version), sizeof(version));
 
   Writer w(out);
@@ -106,84 +273,70 @@ bool SerializeIndex(const EsdIndex& index, std::ostream& out,
   return true;
 }
 
-bool DeserializeIndex(std::istream& in, EsdIndex* index, std::string* error) {
-  auto fail = [error](const char* what) {
-    if (error != nullptr) *error = what;
+bool SerializeFrozenIndex(const FrozenEsdIndex& index, std::ostream& out,
+                          std::string* error) {
+  out.write(kMagic, sizeof(kMagic));
+  uint32_t version = kVersionFrozen;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+
+  // A default-constructed index has empty offset arrays; serialize the
+  // canonical single-zero tables so the file always round-trips through
+  // Adopt's invariants.
+  static constexpr uint64_t kZeroOffset = 0;
+  std::span<const uint64_t> size_offsets = index.SizeOffsets();
+  if (size_offsets.empty()) size_offsets = std::span(&kZeroOffset, 1);
+  std::span<const uint64_t> slab_offsets = index.SlabOffsets();
+  if (slab_offsets.empty()) slab_offsets = std::span(&kZeroOffset, 1);
+
+  Writer w(out);
+  w.PutArray(index.Edges());
+  w.PutArray(index.LiveMask());
+  w.PutArray(size_offsets);
+  w.PutArray(index.SizePool());
+  w.PutArray(index.Sizes());
+  w.PutArray(slab_offsets);
+  w.PutArray(index.Entries());
+  uint64_t checksum = w.checksum();
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write failure while serializing index";
     return false;
-  };
-  char magic[4];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return fail("bad magic: not an ESDIndex file");
   }
-  uint32_t version = 0;
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!in || version != kVersion) return fail("unsupported index version");
+  return true;
+}
 
-  Reader r(in);
-  uint64_t slots = 0;
-  if (!r.Get(&slots)) return fail("truncated index file");
+bool DeserializeIndex(std::istream& in, EsdIndex* index, std::string* error) {
+  const uint32_t version = ReadHeader(in, error);
+  if (version == 0) return false;
+  if (version == kVersionRecords) {
+    std::vector<Record> records;
+    if (!ReadV1Records(in, &records, error)) return false;
+    *index = IndexFromRecords(std::move(records));
+    return true;
+  }
+  // v2: validate the frozen image, then thaw it back into treaps.
+  FrozenEsdIndex::Parts parts;
+  if (!ReadV2Parts(in, &parts, error)) return false;
+  FrozenEsdIndex frozen;
+  if (!FrozenEsdIndex::Adopt(std::move(parts), &frozen, error)) return false;
+  *index = Thaw(frozen);
+  return true;
+}
 
-  struct Record {
-    graph::Edge edge;
-    bool live;
-    std::vector<uint32_t> sizes;
-  };
+bool DeserializeFrozenIndex(std::istream& in, FrozenEsdIndex* index,
+                            std::string* error) {
+  const uint32_t version = ReadHeader(in, error);
+  if (version == 0) return false;
+  if (version == kVersionFrozen) {
+    FrozenEsdIndex::Parts parts;
+    if (!ReadV2Parts(in, &parts, error)) return false;
+    return FrozenEsdIndex::Adopt(std::move(parts), index, error);
+  }
+  // v1: rebuild the slabs once from the per-edge multisets.
   std::vector<Record> records;
-  records.reserve(slots);
-  for (uint64_t i = 0; i < slots; ++i) {
-    Record rec;
-    uint8_t live = 0;
-    uint32_t count = 0;
-    if (!r.Get(&rec.edge.u) || !r.Get(&rec.edge.v) || !r.Get(&live) ||
-        !r.Get(&count)) {
-      return fail("truncated index file");
-    }
-    rec.live = live != 0;
-    rec.sizes.resize(count);
-    uint32_t prev = 0;
-    for (uint32_t j = 0; j < count; ++j) {
-      if (!r.Get(&rec.sizes[j])) return fail("truncated index file");
-      if (rec.sizes[j] < prev || rec.sizes[j] == 0) {
-        return fail("corrupt index file: size multiset not sorted/positive");
-      }
-      prev = rec.sizes[j];
-    }
-    records.push_back(std::move(rec));
-  }
-  uint64_t stored_checksum = 0;
-  in.read(reinterpret_cast<char*>(&stored_checksum), sizeof(stored_checksum));
-  if (!in || stored_checksum != r.checksum()) {
-    return fail("checksum mismatch: index file corrupt");
-  }
-
-  // Fast path: all slots live -> BulkLoad. Otherwise replay registration to
-  // reproduce the exact id layout.
-  bool all_live = true;
-  for (const Record& rec : records) all_live &= rec.live;
-  EsdIndex fresh;
-  if (all_live) {
-    std::vector<graph::Edge> edges;
-    std::vector<std::vector<uint32_t>> sizes;
-    edges.reserve(records.size());
-    sizes.reserve(records.size());
-    for (Record& rec : records) {
-      edges.push_back(rec.edge);
-      sizes.push_back(std::move(rec.sizes));
-    }
-    fresh.BulkLoad(std::move(edges), std::move(sizes));
-  } else {
-    // Register every slot first so ids stay sequential (RegisterEdge would
-    // otherwise recycle freed ids mid-replay), then free the dead slots.
-    for (Record& rec : records) {
-      graph::EdgeId e = fresh.RegisterEdge(rec.edge);
-      if (rec.live) fresh.SetEdgeSizes(e, std::move(rec.sizes));
-    }
-    for (graph::EdgeId e = 0; e < records.size(); ++e) {
-      if (!records[e].live) fresh.UnregisterEdge(e);
-    }
-  }
-  *index = std::move(fresh);
+  if (!ReadV1Records(in, &records, error)) return false;
+  *index = FrozenFromRecords(std::move(records));
   return true;
 }
 
@@ -204,6 +357,26 @@ bool LoadIndex(const std::string& path, EsdIndex* index, std::string* error) {
     return false;
   }
   return DeserializeIndex(in, index, error);
+}
+
+bool SaveFrozenIndex(const FrozenEsdIndex& index, const std::string& path,
+                     std::string* error) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  return SerializeFrozenIndex(index, out, error);
+}
+
+bool LoadFrozenIndex(const std::string& path, FrozenEsdIndex* index,
+                     std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  return DeserializeFrozenIndex(in, index, error);
 }
 
 }  // namespace esd::core

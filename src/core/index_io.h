@@ -5,27 +5,47 @@
 #include <string>
 
 #include "core/esd_index.h"
+#include "core/frozen_index.h"
 
 namespace esd::core {
 
-/// Binary serialization of an EsdIndex, so a built index can be persisted
-/// and memory-mapped/loaded by later processes (the paper's motivating
-/// deployment: build once in ~minutes, then answer queries in
-/// milliseconds forever).
+/// Binary serialization of the index, so a built index can be persisted
+/// and loaded by later processes (the paper's motivating deployment: build
+/// once in ~minutes, then answer queries in milliseconds forever).
 ///
-/// Format (little-endian): magic "ESDX", u32 version, u64 edge count,
-/// per-edge record {u, v, live, size count, sizes...}, u64 FNV-1a checksum
-/// of everything after the header. The H(c) lists are rebuilt on load from
-/// the per-edge size multisets (cheaper to rebuild than to store, and
-/// immune to treap layout drift).
+/// Two on-disk versions share the magic "ESDX" + u32 version header and a
+/// trailing u64 FNV-1a checksum of the payload:
+///
+///   v1 (record format): u64 edge-slot count, then per-slot
+///      {u, v, live, size count, sizes...}. The H(c) lists are rebuilt on
+///      load from the per-edge size multisets.
+///   v2 (frozen format): the seven FrozenEsdIndex arrays written verbatim
+///      as length-prefixed contiguous blocks (edges, live mask, multiset
+///      CSR offsets + pool, distinct sizes C, slab offsets, slab entries).
+///      Contiguous writes, mmap-friendly layout, and a load path that is
+///      validation + adoption — no rebuild step.
+///
+/// Both loaders accept both versions: a v1 file loads into a
+/// FrozenEsdIndex by building the slabs once, and a v2 file loads into an
+/// EsdIndex by thawing (rebuilding the treaps from the stored multisets).
+/// SerializeIndex always writes v1; SerializeFrozenIndex always writes v2.
 bool SaveIndex(const EsdIndex& index, const std::string& path,
                std::string* error);
 bool LoadIndex(const std::string& path, EsdIndex* index, std::string* error);
+
+bool SaveFrozenIndex(const FrozenEsdIndex& index, const std::string& path,
+                     std::string* error);
+bool LoadFrozenIndex(const std::string& path, FrozenEsdIndex* index,
+                     std::string* error);
 
 /// Stream variants (used by the file functions and by tests).
 bool SerializeIndex(const EsdIndex& index, std::ostream& out,
                     std::string* error);
 bool DeserializeIndex(std::istream& in, EsdIndex* index, std::string* error);
+bool SerializeFrozenIndex(const FrozenEsdIndex& index, std::ostream& out,
+                          std::string* error);
+bool DeserializeFrozenIndex(std::istream& in, FrozenEsdIndex* index,
+                            std::string* error);
 
 }  // namespace esd::core
 

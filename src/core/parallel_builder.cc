@@ -15,10 +15,14 @@ using graph::Graph;
 using graph::VertexId;
 using util::KeyedDsu;
 
-EsdIndex BuildIndexParallel(const Graph& g, unsigned num_threads,
-                            std::vector<KeyedDsu>* m_out, ParallelMode mode) {
+namespace {
+
+// Phases 1-3 of Section IV-E: parallel per-edge component-size extraction,
+// shared by the treap and frozen output paths. The pool outlives the call.
+std::vector<std::vector<uint32_t>> ParallelComponentSizes(
+    const Graph& g, util::ThreadPool& pool, ParallelMode mode,
+    std::vector<KeyedDsu>* m_out) {
   const EdgeId m = g.NumEdges();
-  util::ThreadPool pool(num_threads);
 
   // Phase 1: disjoint-set initialization, parallel over edges.
   EdgeDsuArena dsu(g, &pool);
@@ -89,8 +93,6 @@ EsdIndex BuildIndexParallel(const Graph& g, unsigned num_threads,
     }
   });
 
-  EsdIndex index;
-  index.BulkLoad(g.Edges(), std::move(sizes));
   if (m_out != nullptr) {
     m_out->clear();
     m_out->resize(m);
@@ -101,7 +103,24 @@ EsdIndex BuildIndexParallel(const Graph& g, unsigned num_threads,
       }
     });
   }
+  return sizes;
+}
+
+}  // namespace
+
+EsdIndex BuildIndexParallel(const Graph& g, unsigned num_threads,
+                            std::vector<KeyedDsu>* m_out, ParallelMode mode) {
+  util::ThreadPool pool(num_threads);
+  EsdIndex index;
+  index.BulkLoad(g.Edges(), ParallelComponentSizes(g, pool, mode, m_out));
   return index;
+}
+
+FrozenEsdIndex BuildFrozenIndexParallel(const Graph& g, unsigned num_threads,
+                                        ParallelMode mode) {
+  util::ThreadPool pool(num_threads);
+  return FrozenEsdIndex::FromEdgeSizes(
+      g.Edges(), ParallelComponentSizes(g, pool, mode, nullptr));
 }
 
 }  // namespace esd::core

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/esd_index.h"
+#include "core/frozen_index.h"
 #include "graph/graph.h"
 #include "util/dsu.h"
 
@@ -35,6 +36,14 @@ enum class ParallelMode {
 EsdIndex BuildIndexParallel(const graph::Graph& g, unsigned num_threads,
                             std::vector<util::KeyedDsu>* m_out = nullptr,
                             ParallelMode mode = ParallelMode::kEdgeParallel);
+
+/// Frozen-output path of the parallel builder: same three parallel phases,
+/// but the per-edge size multisets are emitted straight into the CSR slabs
+/// of a FrozenEsdIndex — no treaps are ever constructed. Produces identical
+/// query answers to Freeze(BuildIndexParallel(g, ...)).
+FrozenEsdIndex BuildFrozenIndexParallel(
+    const graph::Graph& g, unsigned num_threads,
+    ParallelMode mode = ParallelMode::kEdgeParallel);
 
 }  // namespace esd::core
 

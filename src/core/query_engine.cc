@@ -1,0 +1,90 @@
+#include "core/query_engine.h"
+
+#include <algorithm>
+
+#include "core/dynamic_index.h"
+#include "core/ego_network.h"
+#include "core/esd_index.h"
+#include "core/frozen_index.h"
+#include "core/index_builder.h"
+#include "core/naive_topk.h"
+
+namespace esd::core {
+
+TopKResult OnlineQueryEngine::Query(uint32_t k, uint32_t tau,
+                                    bool pad_with_zero_edges) const {
+  if (k == 0 || tau == 0) return {};
+  TopKResult out = OnlineTopK(graph_, k, tau, rule_);
+  if (!pad_with_zero_edges) {
+    while (!out.empty() && out.back().score == 0) out.pop_back();
+  }
+  return out;
+}
+
+uint32_t OnlineQueryEngine::ScoreOf(graph::EdgeId e, uint32_t tau) const {
+  const graph::Edge& uv = graph_.EdgeAt(e);
+  return EdgeScore(graph_, uv.u, uv.v, tau);
+}
+
+uint64_t OnlineQueryEngine::CountWithScoreAtLeast(uint32_t tau,
+                                                  uint32_t min_score) const {
+  if (min_score == 0) return graph_.NumEdges();
+  if (tau == 0) return 0;
+  uint64_t count = 0;
+  for (uint32_t score : AllEdgeScores(graph_, tau)) {
+    count += score >= min_score ? 1 : 0;
+  }
+  return count;
+}
+
+TopKResult OnlineQueryEngine::QueryWithScoreAtLeast(uint32_t tau,
+                                                    uint32_t min_score,
+                                                    size_t limit) const {
+  TopKResult out;
+  if (tau == 0 || min_score == 0) return out;
+  std::vector<uint32_t> scores = AllEdgeScores(graph_, tau);
+  for (graph::EdgeId e = 0; e < scores.size(); ++e) {
+    if (scores[e] >= min_score) {
+      out.push_back(ScoredEdge{graph_.EdgeAt(e), scores[e]});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ScoredEdge& a, const ScoredEdge& b) {
+                     return a.score > b.score;
+                   });
+  if (limit > 0 && out.size() > limit) out.resize(limit);
+  return out;
+}
+
+std::vector<std::string> QueryEngineNames() {
+  return {"treap", "frozen", "dynamic", "online", "online-mindeg"};
+}
+
+std::unique_ptr<EsdQueryEngine> BuildQueryEngine(const graph::Graph& g,
+                                                 std::string_view name,
+                                                 std::string* error) {
+  if (name == "treap") {
+    return std::make_unique<EsdIndex>(BuildIndexClique(g));
+  }
+  if (name == "frozen") {
+    return std::make_unique<FrozenEsdIndex>(BuildFrozenIndex(g));
+  }
+  if (name == "dynamic") {
+    return std::make_unique<DynamicEsdIndex>(g);
+  }
+  if (name == "online") {
+    return std::make_unique<OnlineQueryEngine>(g,
+                                               UpperBoundRule::kCommonNeighbor);
+  }
+  if (name == "online-mindeg") {
+    return std::make_unique<OnlineQueryEngine>(g, UpperBoundRule::kMinDegree);
+  }
+  if (error != nullptr) {
+    *error = "unknown engine '" + std::string(name) + "' (expected one of:";
+    for (const std::string& n : QueryEngineNames()) *error += " " + n;
+    *error += ")";
+  }
+  return nullptr;
+}
+
+}  // namespace esd::core

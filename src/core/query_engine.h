@@ -1,0 +1,115 @@
+#ifndef ESD_CORE_QUERY_ENGINE_H_
+#define ESD_CORE_QUERY_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/online_topk.h"
+#include "core/topk_result.h"
+#include "graph/graph.h"
+
+namespace esd::core {
+
+/// The serving-layer contract every top-k ESD engine implements.
+///
+/// Four engines exist:
+///   * EsdIndex        — the paper's treap-backed index ("treap"), also the
+///                       mutation substrate of the maintenance algorithms;
+///   * FrozenEsdIndex  — an immutable CSR-slab image of the same index
+///                       ("frozen"), the read-optimized serving layer;
+///   * DynamicEsdIndex — the maintained index ("dynamic"), delegating to its
+///                       internal EsdIndex;
+///   * OnlineQueryEngine — an index-free adapter over the online BFS
+///                       algorithms ("online"), for one-shot workloads.
+///
+/// Shared semantics (engine-parity tests rely on these exactly):
+///   * Query(k, 0) and Query(0, tau) are empty.
+///   * When fewer than k edges have positive score and padding is on, the
+///     remainder is filled with zero-score live edges in ascending edge-id
+///     order, skipping edges already reported — a documented deterministic
+///     order, identical across the index-backed engines.
+///   * CountWithScoreAtLeast(tau, 0) counts every live edge;
+///     QueryWithScoreAtLeast requires min_score >= 1 (else empty).
+class EsdQueryEngine {
+ public:
+  virtual ~EsdQueryEngine() = default;
+
+  /// Top-k structural diversity query at threshold `tau`.
+  virtual TopKResult Query(uint32_t k, uint32_t tau,
+                           bool pad_with_zero_edges = true) const = 0;
+
+  /// Score of edge `e` (a dense id of this engine's snapshot) at `tau`.
+  virtual uint32_t ScoreOf(graph::EdgeId e, uint32_t tau) const = 0;
+
+  /// Number of edges whose score at `tau` is >= min_score.
+  virtual uint64_t CountWithScoreAtLeast(uint32_t tau,
+                                         uint32_t min_score) const = 0;
+
+  /// All edges with score >= min_score at `tau` (at most `limit`,
+  /// 0 = unlimited), descending score.
+  virtual TopKResult QueryWithScoreAtLeast(uint32_t tau, uint32_t min_score,
+                                           size_t limit = 0) const = 0;
+
+  /// Approximate resident bytes of the serving structure (0 for the
+  /// index-free online adapter).
+  virtual uint64_t MemoryBytes() const = 0;
+
+  /// Stable engine name ("treap", "frozen", "dynamic", "online", ...), the
+  /// key used by the CLI/bench engine selectors and the JSON bench output.
+  virtual std::string_view EngineName() const = 0;
+
+ protected:
+  EsdQueryEngine() = default;
+  EsdQueryEngine(const EsdQueryEngine&) = default;
+  EsdQueryEngine& operator=(const EsdQueryEngine&) = default;
+  EsdQueryEngine(EsdQueryEngine&&) = default;
+  EsdQueryEngine& operator=(EsdQueryEngine&&) = default;
+};
+
+/// Index-free engine: answers every call by running the online algorithms
+/// against a borrowed graph (which must outlive the adapter). Query is the
+/// dequeue-twice OnlineTopK; the threshold calls score every edge — they
+/// exist for interface completeness, not for serving traffic.
+class OnlineQueryEngine final : public EsdQueryEngine {
+ public:
+  explicit OnlineQueryEngine(
+      const graph::Graph& g,
+      UpperBoundRule rule = UpperBoundRule::kCommonNeighbor)
+      : graph_(g), rule_(rule) {}
+
+  TopKResult Query(uint32_t k, uint32_t tau,
+                   bool pad_with_zero_edges = true) const override;
+  uint32_t ScoreOf(graph::EdgeId e, uint32_t tau) const override;
+  uint64_t CountWithScoreAtLeast(uint32_t tau,
+                                 uint32_t min_score) const override;
+  TopKResult QueryWithScoreAtLeast(uint32_t tau, uint32_t min_score,
+                                   size_t limit = 0) const override;
+  uint64_t MemoryBytes() const override { return 0; }
+  std::string_view EngineName() const override {
+    return rule_ == UpperBoundRule::kCommonNeighbor ? "online"
+                                                    : "online-mindeg";
+  }
+
+ private:
+  const graph::Graph& graph_;
+  UpperBoundRule rule_;
+};
+
+/// Engine names accepted by BuildQueryEngine, in presentation order.
+std::vector<std::string> QueryEngineNames();
+
+/// Builds the engine registered under `name` ("treap", "frozen", "dynamic",
+/// "online", "online-mindeg") for graph `g`. The online engines borrow `g`
+/// (it must outlive the result); the index engines snapshot it. Returns
+/// nullptr and sets *error on an unknown name.
+std::unique_ptr<EsdQueryEngine> BuildQueryEngine(const graph::Graph& g,
+                                                 std::string_view name,
+                                                 std::string* error);
+
+}  // namespace esd::core
+
+#endif  // ESD_CORE_QUERY_ENGINE_H_

@@ -1,0 +1,387 @@
+// FrozenEsdIndex: the read-optimized serving layer must be observationally
+// identical to the treap index it images — on every query, for every
+// (k, tau), including the documented zero-padding order — and must
+// round-trip losslessly through Freeze/Thaw and both index_io file
+// versions.
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/esd_index.h"
+#include "core/frozen_index.h"
+#include "core/index_builder.h"
+#include "core/index_io.h"
+#include "core/naive_topk.h"
+#include "core/parallel_builder.h"
+#include "core/query_engine.h"
+#include "gen/barabasi_albert.h"
+#include "gen/erdos_renyi.h"
+#include "graph/builder.h"
+#include "tests/test_helpers.h"
+
+namespace esd {
+namespace {
+
+using core::EsdIndex;
+using core::FrozenEsdIndex;
+using core::TopKResult;
+
+/// ~50 small random graphs: half ER (sparse to dense), half BA (hubby).
+std::vector<graph::Graph> RandomGraphs() {
+  std::vector<graph::Graph> out;
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    uint32_t n = 8 + static_cast<uint32_t>(seed) * 2;
+    out.push_back(gen::ErdosRenyiGnm(n, 2 + seed * n / 4, seed));
+  }
+  for (uint64_t seed = 0; seed < 25; ++seed) {
+    uint32_t attach = 1 + static_cast<uint32_t>(seed % 4);
+    out.push_back(gen::BarabasiAlbert(10 + static_cast<uint32_t>(seed),
+                                      attach, 1000 + seed));
+  }
+  return out;
+}
+
+/// Exhaustive observational equality between the treap index and its frozen
+/// image: every read of the EsdQueryEngine interface, over every relevant
+/// tau and a spread of k / min_score / limit values.
+void ExpectEngineParity(const EsdIndex& index, const FrozenEsdIndex& frozen) {
+  const uint32_t m = static_cast<uint32_t>(index.NumRegisteredEdges());
+  ASSERT_EQ(frozen.NumRegisteredEdges(), index.NumRegisteredEdges());
+  ASSERT_EQ(frozen.EdgeSlotCount(), index.EdgeSlotCount());
+  EXPECT_EQ(frozen.DistinctSizes(), index.DistinctSizes());
+
+  std::vector<uint32_t> sizes = index.DistinctSizes();
+  const uint32_t max_size = sizes.empty() ? 0 : sizes.back();
+  for (uint32_t tau = 0; tau <= max_size + 2; ++tau) {
+    for (uint32_t k : {0u, 1u, 3u, m / 2, m, m + 4}) {
+      EXPECT_EQ(frozen.Query(k, tau), index.Query(k, tau))
+          << "k=" << k << " tau=" << tau;
+      EXPECT_EQ(frozen.Query(k, tau, false), index.Query(k, tau, false))
+          << "k=" << k << " tau=" << tau << " (no padding)";
+    }
+    for (uint32_t min_score : {0u, 1u, 2u, 5u}) {
+      EXPECT_EQ(frozen.CountWithScoreAtLeast(tau, min_score),
+                index.CountWithScoreAtLeast(tau, min_score))
+          << "tau=" << tau << " min_score=" << min_score;
+      for (size_t limit : {size_t{0}, size_t{3}}) {
+        EXPECT_EQ(frozen.QueryWithScoreAtLeast(tau, min_score, limit),
+                  index.QueryWithScoreAtLeast(tau, min_score, limit))
+            << "tau=" << tau << " min_score=" << min_score;
+      }
+    }
+    for (graph::EdgeId e = 0; e < index.EdgeSlotCount(); ++e) {
+      if (!index.IsLive(e)) continue;
+      EXPECT_EQ(frozen.ScoreOf(e, tau), index.ScoreOf(e, tau))
+          << "e=" << e << " tau=" << tau;
+    }
+  }
+}
+
+TEST(FrozenIndexTest, ParityOnRandomGraphs) {
+  for (const graph::Graph& g : RandomGraphs()) {
+    EsdIndex index = core::BuildIndexClique(g);
+    FrozenEsdIndex frozen = core::Freeze(index);
+    ExpectEngineParity(index, frozen);
+  }
+}
+
+TEST(FrozenIndexTest, FreezeThawFreezeIsIdentity) {
+  for (const graph::Graph& g : RandomGraphs()) {
+    EsdIndex index = core::BuildIndexClique(g);
+    FrozenEsdIndex frozen = core::Freeze(index);
+    EsdIndex thawed = core::Thaw(frozen);
+    test::ExpectIndexesEqual(index, thawed);
+    EXPECT_TRUE(core::Freeze(thawed) == frozen);
+  }
+}
+
+TEST(FrozenIndexTest, BuilderFrozenPathsMatchFreeze) {
+  for (uint64_t seed : {3u, 7u, 11u}) {
+    graph::Graph g = gen::ErdosRenyiGnm(40, 160, seed);
+    FrozenEsdIndex want = core::Freeze(core::BuildIndexClique(g));
+    EXPECT_TRUE(core::BuildFrozenIndex(g) == want);
+    EXPECT_TRUE(core::BuildFrozenIndexParallel(g, 4) == want);
+    EXPECT_TRUE(core::BuildFrozenIndexParallel(
+                    g, 3, core::ParallelMode::kVertexParallel) == want);
+  }
+}
+
+TEST(FrozenIndexTest, FreedSlotsRoundTrip) {
+  graph::Graph g = gen::BarabasiAlbert(40, 3, 5);
+  EsdIndex index = core::BuildIndexClique(g);
+  // Free a few slots, as the dynamic maintenance path would.
+  for (graph::EdgeId e : {2u, 7u, 20u}) {
+    index.SetEdgeSizes(e, {});
+    index.UnregisterEdge(e);
+  }
+  FrozenEsdIndex frozen = core::Freeze(index);
+  EXPECT_EQ(frozen.NumRegisteredEdges(), index.NumRegisteredEdges());
+  for (graph::EdgeId e = 0; e < index.EdgeSlotCount(); ++e) {
+    EXPECT_EQ(frozen.IsLive(e), index.IsLive(e));
+  }
+  ExpectEngineParity(index, frozen);
+
+  // Thaw reproduces the exact slot layout, and re-freezing is an identity.
+  EsdIndex thawed = core::Thaw(frozen);
+  test::ExpectIndexesEqual(index, thawed);
+  for (graph::EdgeId e = 0; e < index.EdgeSlotCount(); ++e) {
+    EXPECT_EQ(thawed.IsLive(e), index.IsLive(e));
+  }
+  EXPECT_TRUE(core::Freeze(thawed) == frozen);
+}
+
+TEST(FrozenIndexTest, PaddingOrderIsAscendingEdgeId) {
+  // A star has zero structural diversity everywhere at tau >= 2, so a
+  // padded query is all padding: the documented order is ascending edge id.
+  graph::Graph g;
+  graph::GraphBuilder b;
+  for (uint32_t i = 1; i <= 6; ++i) b.AddEdge(0, i);
+  g = b.Build();
+  EsdIndex index = core::BuildIndexClique(g);
+  FrozenEsdIndex frozen = core::Freeze(index);
+  TopKResult got = frozen.Query(4, 3);
+  ASSERT_EQ(got.size(), 4u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].score, 0u);
+    EXPECT_EQ(got[i].edge, index.EdgeAt(static_cast<graph::EdgeId>(i)));
+  }
+  EXPECT_EQ(got, index.Query(4, 3));
+}
+
+TEST(FrozenIndexTest, QueriesAgainstNaiveGroundTruth) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    graph::Graph g = gen::ErdosRenyiGnm(30, 120, seed);
+    FrozenEsdIndex frozen = core::BuildFrozenIndex(g);
+    for (uint32_t tau : {2u, 3u}) {
+      EXPECT_EQ(core::Scores(frozen.Query(10, tau)),
+                test::NaiveTopScores(g, 10, tau));
+    }
+  }
+}
+
+TEST(FrozenIndexTest, EmptyAndDefaultImages) {
+  FrozenEsdIndex def;
+  EXPECT_EQ(def.Query(5, 2), TopKResult{});
+  EXPECT_EQ(def.CountWithScoreAtLeast(2, 1), 0u);
+  EXPECT_EQ(def.MemoryBytes(), 0u);
+
+  FrozenEsdIndex empty = FrozenEsdIndex::FromEdgeSizes({}, {});
+  EXPECT_EQ(empty.Query(5, 2), TopKResult{});
+  EXPECT_EQ(empty.EdgeSlotCount(), 0u);
+
+  // Even a default image (whose offset tables are empty rather than the
+  // canonical single zero) serializes to a loadable v2 file, and loading
+  // normalizes it to the canonical empty image.
+  std::stringstream buf;
+  std::string error;
+  ASSERT_TRUE(core::SerializeFrozenIndex(def, buf, &error)) << error;
+  FrozenEsdIndex back;
+  ASSERT_TRUE(core::DeserializeFrozenIndex(buf, &back, &error)) << error;
+  EXPECT_TRUE(back == empty);
+}
+
+TEST(FrozenIndexTest, AdoptRejectsMalformedParts) {
+  graph::Graph g = gen::ErdosRenyiGnm(20, 60, 9);
+  FrozenEsdIndex frozen = core::BuildFrozenIndex(g);
+  auto parts_of = [&frozen] {
+    FrozenEsdIndex::Parts p;
+    p.edges.assign(frozen.Edges().begin(), frozen.Edges().end());
+    p.live.assign(frozen.LiveMask().begin(), frozen.LiveMask().end());
+    p.size_offsets.assign(frozen.SizeOffsets().begin(),
+                          frozen.SizeOffsets().end());
+    p.size_pool.assign(frozen.SizePool().begin(), frozen.SizePool().end());
+    p.sizes.assign(frozen.Sizes().begin(), frozen.Sizes().end());
+    p.offsets.assign(frozen.SlabOffsets().begin(),
+                     frozen.SlabOffsets().end());
+    p.entries.assign(frozen.Entries().begin(), frozen.Entries().end());
+    return p;
+  };
+  {
+    FrozenEsdIndex out;
+    std::string error;
+    ASSERT_TRUE(FrozenEsdIndex::Adopt(parts_of(), &out, &error)) << error;
+    EXPECT_TRUE(out == frozen);
+  }
+  auto expect_rejected = [](FrozenEsdIndex::Parts p) {
+    FrozenEsdIndex out;
+    std::string error;
+    EXPECT_FALSE(FrozenEsdIndex::Adopt(std::move(p), &out, &error));
+    EXPECT_FALSE(error.empty());
+  };
+  {
+    auto p = parts_of();
+    p.live.pop_back();  // live mask shorter than the edge table
+    expect_rejected(std::move(p));
+  }
+  {
+    auto p = parts_of();
+    p.offsets.back() += 1;  // slab offsets no longer cover entries exactly
+    expect_rejected(std::move(p));
+  }
+  {
+    auto p = parts_of();
+    ASSERT_FALSE(p.entries.empty());
+    p.entries[0].score += 1;  // score contradicts the stored multiset
+    expect_rejected(std::move(p));
+  }
+  {
+    auto p = parts_of();
+    ASSERT_FALSE(p.sizes.empty());
+    p.sizes.pop_back();  // C no longer matches the pool's distinct sizes
+    expect_rejected(std::move(p));
+  }
+}
+
+TEST(IndexIoV2Test, FrozenRoundTripV2) {
+  for (uint64_t seed : {4u, 8u}) {
+    graph::Graph g = gen::BarabasiAlbert(40, 3, seed);
+    FrozenEsdIndex frozen = core::BuildFrozenIndex(g);
+    std::stringstream buf;
+    std::string error;
+    ASSERT_TRUE(core::SerializeFrozenIndex(frozen, buf, &error)) << error;
+    FrozenEsdIndex back;
+    ASSERT_TRUE(core::DeserializeFrozenIndex(buf, &back, &error)) << error;
+    EXPECT_TRUE(back == frozen);
+  }
+}
+
+TEST(IndexIoV2Test, V1FileLoadsIntoBothEngines) {
+  graph::Graph g = gen::ErdosRenyiGnm(35, 140, 6);
+  EsdIndex built = core::BuildIndexClique(g);
+  std::stringstream buf;
+  std::string error;
+  ASSERT_TRUE(core::SerializeIndex(built, buf, &error)) << error;
+  const std::string v1 = buf.str();
+
+  std::stringstream in_treap(v1);
+  EsdIndex as_treap;
+  ASSERT_TRUE(core::DeserializeIndex(in_treap, &as_treap, &error)) << error;
+  std::stringstream in_frozen(v1);
+  FrozenEsdIndex as_frozen;
+  ASSERT_TRUE(core::DeserializeFrozenIndex(in_frozen, &as_frozen, &error))
+      << error;
+
+  test::ExpectIndexesEqual(built, as_treap);
+  EXPECT_TRUE(as_frozen == core::Freeze(built));
+  ExpectEngineParity(as_treap, as_frozen);
+}
+
+TEST(IndexIoV2Test, V2FileLoadsIntoBothEngines) {
+  graph::Graph g = gen::ErdosRenyiGnm(35, 140, 7);
+  FrozenEsdIndex frozen = core::BuildFrozenIndex(g);
+  std::stringstream buf;
+  std::string error;
+  ASSERT_TRUE(core::SerializeFrozenIndex(frozen, buf, &error)) << error;
+  const std::string v2 = buf.str();
+
+  std::stringstream in_frozen(v2);
+  FrozenEsdIndex as_frozen;
+  ASSERT_TRUE(core::DeserializeFrozenIndex(in_frozen, &as_frozen, &error))
+      << error;
+  std::stringstream in_treap(v2);
+  EsdIndex as_treap;
+  ASSERT_TRUE(core::DeserializeIndex(in_treap, &as_treap, &error)) << error;
+
+  EXPECT_TRUE(as_frozen == frozen);
+  test::ExpectIndexesEqual(as_treap, core::Thaw(frozen));
+  ExpectEngineParity(as_treap, as_frozen);
+}
+
+TEST(IndexIoV2Test, V1ToV2MigrationPreservesAnswers) {
+  // The migration path: load a legacy v1 file into the serving layer, save
+  // it as v2, reload — every answer must survive both hops.
+  graph::Graph g = gen::BarabasiAlbert(45, 2, 11);
+  EsdIndex built = core::BuildIndexClique(g);
+  std::stringstream v1;
+  std::string error;
+  ASSERT_TRUE(core::SerializeIndex(built, v1, &error)) << error;
+  FrozenEsdIndex migrated;
+  ASSERT_TRUE(core::DeserializeFrozenIndex(v1, &migrated, &error)) << error;
+  std::stringstream v2;
+  ASSERT_TRUE(core::SerializeFrozenIndex(migrated, v2, &error)) << error;
+  FrozenEsdIndex reloaded;
+  ASSERT_TRUE(core::DeserializeFrozenIndex(v2, &reloaded, &error)) << error;
+  EXPECT_TRUE(reloaded == migrated);
+  ExpectEngineParity(built, reloaded);
+}
+
+TEST(IndexIoV2Test, CorruptV2Rejected) {
+  graph::Graph g = gen::ErdosRenyiGnm(25, 80, 13);
+  FrozenEsdIndex frozen = core::BuildFrozenIndex(g);
+  std::stringstream buf;
+  std::string error;
+  ASSERT_TRUE(core::SerializeFrozenIndex(frozen, buf, &error)) << error;
+  const std::string good = buf.str();
+
+  {  // Bad magic.
+    std::string bad = good;
+    bad[0] = 'X';
+    std::stringstream in(bad);
+    FrozenEsdIndex out;
+    EXPECT_FALSE(core::DeserializeFrozenIndex(in, &out, &error));
+  }
+  {  // Unsupported version.
+    std::string bad = good;
+    bad[4] = 99;
+    std::stringstream in(bad);
+    FrozenEsdIndex out;
+    EXPECT_FALSE(core::DeserializeFrozenIndex(in, &out, &error));
+  }
+  {  // Flipped payload byte: the checksum (or Adopt) must catch it.
+    std::string bad = good;
+    bad[bad.size() / 2] ^= 0x20;
+    std::stringstream in(bad);
+    FrozenEsdIndex out;
+    EXPECT_FALSE(core::DeserializeFrozenIndex(in, &out, &error));
+  }
+  {  // Truncation.
+    std::string bad = good.substr(0, good.size() - 9);
+    std::stringstream in(bad);
+    FrozenEsdIndex out;
+    EXPECT_FALSE(core::DeserializeFrozenIndex(in, &out, &error));
+  }
+  {  // A v2 stream also fails cleanly through the treap loader.
+    std::string bad = good;
+    bad[bad.size() / 2] ^= 0x20;
+    std::stringstream in(bad);
+    EsdIndex out;
+    EXPECT_FALSE(core::DeserializeIndex(in, &out, &error));
+  }
+}
+
+TEST(QueryEngineTest, FactoryCoversAllEnginesWithEqualAnswers) {
+  graph::Graph g = gen::ErdosRenyiGnm(30, 110, 17);
+  TopKResult want;  // treap's answer is the reference
+  for (const std::string& name : core::QueryEngineNames()) {
+    std::string error;
+    std::unique_ptr<core::EsdQueryEngine> engine =
+        core::BuildQueryEngine(g, name, &error);
+    ASSERT_NE(engine, nullptr) << error;
+    EXPECT_EQ(engine->EngineName(), name);
+    TopKResult got = engine->Query(8, 2);
+    if (name == "treap") want = got;
+    if (name == "treap" || name == "frozen" || name == "dynamic") {
+      // Index-backed engines agree exactly, padding included.
+      EXPECT_EQ(got, want) << name;
+    } else {
+      // Online engines may break score ties differently; the score vector
+      // is still the same.
+      EXPECT_EQ(core::Scores(got), core::Scores(want)) << name;
+    }
+    EXPECT_EQ(engine->CountWithScoreAtLeast(2, 1),
+              core::BuildQueryEngine(g, "treap", &error)
+                  ->CountWithScoreAtLeast(2, 1))
+        << name;
+  }
+  std::string error;
+  EXPECT_EQ(core::BuildQueryEngine(g, "no-such-engine", &error), nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace esd
