@@ -1,0 +1,221 @@
+// Demo of the serving layer: build (or load) a read-optimized
+// FrozenEsdIndex, stand up an EsdQueryService on top of it, fire a burst
+// of synthetic client traffic at the service from several threads, and
+// print the observability snapshot — throughput, p50/p95/p99 end-to-end
+// latency, queue-wait vs execute tails, admission rejects and deadline
+// misses.
+//
+// Usage:
+//   esd_server --dataset pokec-s [--scale 0.2] [--threads 4] [--clients 8]
+//              [--requests 5000] [--max-queue 1024] [--deadline-us 0]
+//              [--engine frozen]
+//   esd_server --file <edge_list> [--load-index <path>] ...
+//
+// Examples:
+//   build/examples/esd_server --dataset pokec-s --requests 2000
+//   build/examples/esd_server --dataset dblp-s --threads 2 --deadline-us 500
+
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/frozen_index.h"
+#include "core/index_io.h"
+#include "core/query_engine.h"
+#include "esd_version.h"
+#include "gen/datasets.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "serve/metrics.h"
+#include "serve/query_service.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "esd_server %s\n"
+               "usage: esd_server (--file <edge_list> | --dataset <name>)\n"
+               "                  [--scale S] [--engine E] [--threads N]\n"
+               "                  [--clients C] [--requests R]\n"
+               "                  [--max-queue Q] [--deadline-us D]\n"
+               "                  [--load-index P]\n",
+               esd::kVersionString);
+}
+
+const char* StatusName(esd::serve::ResponseStatus s) {
+  switch (s) {
+    case esd::serve::ResponseStatus::kOk:
+      return "ok";
+    case esd::serve::ResponseStatus::kRejectedQueueFull:
+      return "rejected";
+    case esd::serve::ResponseStatus::kDeadlineMissed:
+      return "deadline-missed";
+    case esd::serve::ResponseStatus::kShutdown:
+      return "shutdown";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace esd;
+
+  std::string file, dataset, load_index, engine_name = "frozen";
+  double scale = 1.0;
+  unsigned threads = 0;  // 0 = ThreadPool::DefaultThreadCount()
+  unsigned clients = 4;
+  uint64_t requests = 5000;
+  size_t max_queue = 1024;
+  uint64_t deadline_us = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--file") {
+      file = next();
+    } else if (arg == "--dataset") {
+      dataset = next();
+    } else if (arg == "--scale") {
+      scale = std::atof(next());
+    } else if (arg == "--engine") {
+      engine_name = next();
+    } else if (arg == "--threads") {
+      threads = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--clients") {
+      clients = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--requests") {
+      requests = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--max-queue") {
+      max_queue = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--deadline-us") {
+      deadline_us = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--load-index") {
+      load_index = next();
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+  if (file.empty() == dataset.empty()) {  // exactly one source required
+    Usage();
+    return 2;
+  }
+  if (clients == 0) clients = 1;
+
+  graph::Graph g;
+  if (!file.empty()) {
+    std::string error;
+    if (!graph::LoadEdgeList(file, &g, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+  } else {
+    g = gen::LoadStandardDataset(dataset, scale).graph;
+  }
+  std::printf("graph: n=%u m=%u\n", g.NumVertices(), g.NumEdges());
+
+  util::Timer timer;
+  std::unique_ptr<core::EsdQueryEngine> engine;
+  if (!load_index.empty()) {
+    std::string error;
+    core::FrozenEsdIndex index;
+    if (!core::LoadFrozenIndex(load_index, &index, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    engine = std::make_unique<core::FrozenEsdIndex>(std::move(index));
+    engine_name = "frozen";
+    std::printf("frozen engine loaded from %s: %.1f ms\n",
+                load_index.c_str(), timer.ElapsedMillis());
+  } else {
+    std::string error;
+    engine = core::BuildQueryEngine(g, engine_name, &error);
+    if (engine == nullptr) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    std::printf("%s engine build: %.1f ms\n", engine_name.c_str(),
+                timer.ElapsedMillis());
+  }
+
+  serve::EsdQueryService::Options opts;
+  opts.num_threads = threads;
+  opts.max_queue = max_queue;
+  serve::EsdQueryService service(*engine, opts);
+  std::printf("service up: %u worker threads, queue bound %zu\n\n",
+              service.num_threads(), max_queue);
+
+  // Burst: `clients` threads each fire their share of the requests, mixing
+  // taus and ks, then report one sample response apiece.
+  const uint64_t per_client = (requests + clients - 1) / clients;
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(clients);
+  std::vector<serve::QueryResponse> samples(clients);
+  util::Timer wall;
+  for (unsigned c = 0; c < clients; ++c) {
+    client_threads.emplace_back([&, c] {
+      util::Rng rng(0xC0FFEE + c);
+      serve::QueryResponse last;
+      for (uint64_t r = 0; r < per_client; ++r) {
+        serve::QueryRequest rq;
+        rq.k = 1 + static_cast<uint32_t>(rng.NextBounded(50));
+        rq.tau = 1 + static_cast<uint32_t>(rng.NextBounded(8));
+        rq.deadline_us = deadline_us;
+        last = service.Query(rq);
+      }
+      samples[c] = last;
+    });
+  }
+  for (std::thread& t : client_threads) t.join();
+  const double wall_s = wall.ElapsedSeconds();
+  service.Stop();
+
+  const uint64_t sent = per_client * clients;
+  std::printf("%llu requests in %.1f ms -> %.0f qps\n",
+              static_cast<unsigned long long>(sent), wall_s * 1e3,
+              static_cast<double>(sent) / wall_s);
+  for (unsigned c = 0; c < clients; ++c) {
+    const serve::QueryResponse& s = samples[c];
+    std::printf("client %u last response: %s, %zu edges, queue %.1f us, "
+                "exec %.1f us\n",
+                c, StatusName(s.status), s.result.size(), s.queue_us,
+                s.exec_us);
+  }
+
+  const serve::MetricsSnapshot snap = service.metrics().Snap();
+  std::printf("\nservice metrics:\n");
+  std::printf("  accepted/completed:   %llu / %llu\n",
+              static_cast<unsigned long long>(snap.accepted),
+              static_cast<unsigned long long>(snap.completed));
+  std::printf("  rejected (queue full): %llu\n",
+              static_cast<unsigned long long>(snap.rejected));
+  std::printf("  deadline missed:      %llu\n",
+              static_cast<unsigned long long>(snap.deadline_missed));
+  std::printf("  batches (saved slab searches): %llu (%llu)\n",
+              static_cast<unsigned long long>(snap.batches),
+              static_cast<unsigned long long>(snap.slab_searches_saved));
+  std::printf("  latency p50/p95/p99:  %.1f / %.1f / %.1f us\n",
+              snap.total.p50_us, snap.total.p95_us, snap.total.p99_us);
+  std::printf("  queue-wait p95:       %.1f us\n", snap.queue_wait.p95_us);
+  std::printf("  execute p95:          %.1f us\n", snap.execute.p95_us);
+  std::printf("{\"bench\":\"esd_server\",\"engine\":\"%s\",\"dataset\":\"%s\","
+              "\"op\":\"burst\",\"wall_ms\":%.6f,\"bytes\":%llu,%s}\n",
+              engine_name.c_str(),
+              (dataset.empty() ? file : dataset).c_str(), wall_s * 1e3,
+              static_cast<unsigned long long>(engine->MemoryBytes()),
+              serve::MetricsJsonFields(snap).c_str());
+  return 0;
+}

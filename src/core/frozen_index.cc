@@ -203,15 +203,24 @@ bool FrozenEsdIndex::Adopt(Parts parts, FrozenEsdIndex* out,
   return true;
 }
 
+size_t FrozenEsdIndex::FindSlab(uint32_t tau) const {
+  auto it = std::lower_bound(sizes_.begin(), sizes_.end(), tau);
+  if (it == sizes_.end()) return kNoSlab;
+  return static_cast<size_t>(it - sizes_.begin());
+}
+
 TopKResult FrozenEsdIndex::Query(uint32_t k, uint32_t tau,
                                  bool pad_with_zero_edges) const {
+  if (k == 0 || tau == 0) return {};
+  return QueryAtSlab(FindSlab(tau), k, pad_with_zero_edges);
+}
+
+TopKResult FrozenEsdIndex::QueryAtSlab(size_t slab_index, uint32_t k,
+                                       bool pad_with_zero_edges) const {
   TopKResult out;
-  if (k == 0 || tau == 0) return out;
-  auto it = std::lower_bound(sizes_.begin(), sizes_.end(), tau);
+  if (k == 0) return out;
   std::span<const Entry> slab;
-  if (it != sizes_.end()) {
-    slab = ListAt(static_cast<size_t>(it - sizes_.begin()));
-  }
+  if (slab_index != kNoSlab) slab = ListAt(slab_index);
   const size_t take = std::min<size_t>(k, slab.size());
   out.reserve(take);
   for (size_t i = 0; i < take; ++i) {

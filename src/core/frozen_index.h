@@ -84,6 +84,22 @@ class FrozenEsdIndex final : public EsdQueryEngine {
   /// reported), so results match EsdIndex::Query exactly.
   TopKResult Query(uint32_t k, uint32_t tau,
                    bool pad_with_zero_edges = true) const override;
+
+  /// Sentinel for "no slab serves this tau" (tau above every stored size).
+  static constexpr size_t kNoSlab = ~size_t{0};
+
+  /// The sizes_ binary search of Query, exposed separately so a batch of
+  /// same-tau queries pays it once: index of the slab serving threshold
+  /// `tau` (smallest c >= tau), or kNoSlab. Requires tau >= 1.
+  size_t FindSlab(uint32_t tau) const;
+
+  /// Query with the binary search already done: serves k entries from slab
+  /// `slab` (kNoSlab reads as an empty slab). For slab == FindSlab(tau)
+  /// and k, tau >= 1 this returns exactly Query(k, tau,
+  /// pad_with_zero_edges).
+  TopKResult QueryAtSlab(size_t slab, uint32_t k,
+                         bool pad_with_zero_edges = true) const;
+
   uint32_t ScoreOf(graph::EdgeId e, uint32_t tau) const override;
   /// Two binary searches: one over sizes_, one over the slab (entries are
   /// score-descending, so the >= min_score prefix is a partition point).

@@ -1,9 +1,12 @@
 #include "core/index_io.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <ios>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <span>
 #include <type_traits>
@@ -13,6 +16,12 @@
 namespace esd::core {
 
 namespace {
+
+// Whole slabs move through single stream ops; a narrowing cast (e.g.
+// through `long`, 32-bit on LLP64 targets) would silently truncate >2 GiB
+// blocks. std::streamsize must cover any in-memory block size.
+static_assert(sizeof(std::streamsize) >= sizeof(size_t),
+              "std::streamsize narrower than size_t: block IO would truncate");
 
 constexpr char kMagic[4] = {'E', 'S', 'D', 'X'};
 constexpr uint32_t kVersionRecords = 1;  // per-slot records, treaps rebuilt
@@ -45,7 +54,8 @@ class Writer {
     sum_.Feed(&value, sizeof(value));
   }
   void PutRaw(const void* data, size_t n) {
-    out_.write(static_cast<const char*>(data), static_cast<long>(n));
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(n));
     sum_.Feed(data, n);
   }
   /// Length-prefixed contiguous block: u64 element count, then the elements
@@ -77,24 +87,64 @@ class Reader {
     return true;
   }
   bool GetRaw(void* data, size_t n) {
-    in_.read(static_cast<char*>(data), static_cast<long>(n));
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
     if (!in_) return false;
     sum_.Feed(data, n);
     return true;
   }
+  /// Length-prefixed block, the inverse of Writer::PutArray. The element
+  /// count comes straight from a possibly corrupt or hostile file, so it is
+  /// never trusted with an allocation: when the stream length is known, a
+  /// count exceeding the remaining bytes is rejected up front, and the
+  /// payload is then read in bounded chunks so even an unseekable stream
+  /// can only make us allocate one chunk past the bytes it actually holds.
   template <typename T>
   bool GetArray(std::vector<T>* out) {
     static_assert(std::is_trivially_copyable_v<T>);
     uint64_t n = 0;
     if (!Get(&n)) return false;
-    out->resize(n);
-    return n == 0 || GetRaw(out->data(), n * sizeof(T));
+    if (n > RemainingBytes() / sizeof(T)) {
+      error_ = "corrupt index file: array length exceeds remaining bytes";
+      return false;
+    }
+    out->clear();
+    constexpr uint64_t kChunkElems =
+        std::max<uint64_t>(1, (uint64_t{1} << 20) / sizeof(T));
+    for (uint64_t done = 0; done < n;) {
+      const uint64_t take = std::min(n - done, kChunkElems);
+      out->resize(static_cast<size_t>(done + take));
+      if (!GetRaw(out->data() + done, static_cast<size_t>(take) * sizeof(T))) {
+        *out = {};
+        error_ = "truncated index file: array shorter than its length prefix";
+        return false;
+      }
+      done += take;
+    }
+    return true;
   }
   uint64_t checksum() const { return sum_.value(); }
+  /// Parse-error detail from the last failing GetArray, or nullptr when the
+  /// failure was a plain stream error.
+  const char* error() const { return error_; }
 
  private:
+  /// Bytes left between the read position and the end of the stream, or
+  /// uint64 max when the stream is unseekable (no length to check against).
+  uint64_t RemainingBytes() {
+    const std::streampos cur = in_.tellg();
+    if (cur == std::streampos(-1)) {
+      return std::numeric_limits<uint64_t>::max();
+    }
+    in_.seekg(0, std::ios::end);
+    const std::streampos end = in_.tellg();
+    in_.seekg(cur);
+    if (end == std::streampos(-1) || end < cur) return 0;
+    return static_cast<uint64_t>(end - cur);
+  }
+
   std::istream& in_;
   Checksummer sum_;
+  const char* error_ = nullptr;
 };
 
 /// Reads magic + version. Returns 0 (with *error set) on failure.
@@ -179,7 +229,7 @@ bool ReadV2Parts(std::istream& in, FrozenEsdIndex::Parts* out,
       !r.GetArray(&parts.size_offsets) || !r.GetArray(&parts.size_pool) ||
       !r.GetArray(&parts.sizes) || !r.GetArray(&parts.offsets) ||
       !r.GetArray(&parts.entries)) {
-    return fail("truncated index file");
+    return fail(r.error() != nullptr ? r.error() : "truncated index file");
   }
   uint64_t stored_checksum = 0;
   in.read(reinterpret_cast<char*>(&stored_checksum), sizeof(stored_checksum));

@@ -34,7 +34,16 @@ TopKResult OnlineTopK(const Graph& g, uint32_t k, uint32_t tau,
     } else {
       base = graph::CountCommonNeighbors(g, uv.u, uv.v);
     }
-    queue.Push(e, priority(base / tau, 0));
+    const uint32_t bound = base / tau;
+    if (bound == 0) {
+      // score(e) <= bound = 0 and scores are non-negative, so the edge is
+      // already certified at 0: enqueue it directly in the exact phase and
+      // never pay its ego-network BFS.
+      queue.Push(e, priority(0, 1));
+      if (stats != nullptr) ++stats->zero_bound_skips;
+    } else {
+      queue.Push(e, priority(bound, 0));
+    }
   }
   if (stats != nullptr) stats->bound_seconds = bound_timer.ElapsedSeconds();
 

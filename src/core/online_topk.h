@@ -23,6 +23,10 @@ struct OnlineStats {
   uint64_t exact_computations = 0;
   /// Total priority-queue pops.
   uint64_t heap_pops = 0;
+  /// Edges whose upper bound was already 0 (base < tau): by the bound's
+  /// definition their score is provably 0, so they are certified without
+  /// an ego-network BFS. exact_computations + zero_bound_skips <= m.
+  uint64_t zero_bound_skips = 0;
   /// Time spent computing the initial upper bounds, in seconds.
   double bound_seconds = 0;
 };

@@ -34,6 +34,16 @@ namespace esd::core {
 ///     order, identical across the index-backed engines.
 ///   * CountWithScoreAtLeast(tau, 0) counts every live edge;
 ///     QueryWithScoreAtLeast requires min_score >= 1 (else empty).
+///
+/// Thread safety: every method of this interface is const and must be safe
+/// to call concurrently from any number of threads as long as no thread
+/// mutates the engine (or, for the online adapters, the borrowed graph)
+/// during the calls. The serving layer (serve::EsdQueryService) relies on
+/// exactly this contract to share one engine across its worker pool;
+/// FrozenEsdIndex is immutable after construction and is the engine meant
+/// to be shared. Mutating engines (EsdIndex under maintenance,
+/// DynamicEsdIndex) require external synchronization between writes and
+/// any concurrent reads.
 class EsdQueryEngine {
  public:
   virtual ~EsdQueryEngine() = default;

@@ -1,0 +1,196 @@
+#ifndef ESD_SERVE_METRICS_H_
+#define ESD_SERVE_METRICS_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace esd::serve {
+
+/// Lock-free log-scale latency histogram (HDR-style: power-of-two major
+/// buckets, 8 linear sub-buckets each, so any recorded value lands in a
+/// bucket within 12.5% of its true nanosecond latency). Record() is a
+/// single relaxed atomic increment, safe from any number of threads;
+/// Snap() reads a racy-but-consistent-enough snapshot for export, which is
+/// the usual contract for serving metrics.
+class LatencyHistogram {
+ public:
+  /// Percentiles and moments of one histogram, in microseconds.
+  struct Snapshot {
+    uint64_t count = 0;
+    double p50_us = 0;
+    double p95_us = 0;
+    double p99_us = 0;
+    double max_us = 0;
+    double mean_us = 0;
+  };
+
+  void RecordNanos(uint64_t ns) {
+    buckets_[BucketOf(ns)].fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+    uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+    while (ns > seen &&
+           !max_ns_.compare_exchange_weak(seen, ns,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+  void RecordMicros(double us) {
+    RecordNanos(us <= 0 ? 0 : static_cast<uint64_t>(us * 1e3));
+  }
+
+  Snapshot Snap() const {
+    std::array<uint64_t, kBuckets> counts;
+    uint64_t total = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      counts[b] = buckets_[b].load(std::memory_order_relaxed);
+      total += counts[b];
+    }
+    Snapshot s;
+    s.count = total;
+    if (total == 0) return s;
+    s.p50_us = PercentileUs(counts, total, 0.50);
+    s.p95_us = PercentileUs(counts, total, 0.95);
+    s.p99_us = PercentileUs(counts, total, 0.99);
+    s.max_us =
+        static_cast<double>(max_ns_.load(std::memory_order_relaxed)) * 1e-3;
+    s.mean_us =
+        static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-3 /
+        static_cast<double>(total);
+    return s;
+  }
+
+ private:
+  static constexpr int kSubBits = 3;
+  static constexpr size_t kSub = size_t{1} << kSubBits;  // 8 sub-buckets
+  // Largest bucket index is reached at ns = 2^64 - 1 (bit width 64):
+  // (64 - 1 - kSubBits + 1) * kSub + (kSub - 1) = 495.
+  static constexpr size_t kBuckets = (64 - kSubBits) * kSub + kSub;
+
+  static size_t BucketOf(uint64_t ns) {
+    if (ns < kSub) return static_cast<size_t>(ns);
+    const int shift = std::bit_width(ns) - 1 - kSubBits;
+    return static_cast<size_t>(shift + 1) * kSub +
+           static_cast<size_t>((ns >> shift) & (kSub - 1));
+  }
+
+  /// Representative latency of bucket `b` (its midpoint), in microseconds.
+  static double BucketMidUs(size_t b) {
+    if (b < kSub) return static_cast<double>(b) * 1e-3;
+    const int shift = static_cast<int>(b / kSub) - 1;
+    const double lo = std::ldexp(static_cast<double>(kSub + b % kSub), shift);
+    const double width = std::ldexp(1.0, shift);
+    return (lo + width * 0.5) * 1e-3;
+  }
+
+  static double PercentileUs(const std::array<uint64_t, kBuckets>& counts,
+                             uint64_t total, double p) {
+    const uint64_t rank =
+        std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(
+                                  p * static_cast<double>(total))));
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      seen += counts[b];
+      if (seen >= rank) return BucketMidUs(b);
+    }
+    return BucketMidUs(kBuckets - 1);
+  }
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> sum_ns_{0};
+  std::atomic<uint64_t> max_ns_{0};
+};
+
+/// One coherent read of a service's counters and latency distributions.
+struct MetricsSnapshot {
+  uint64_t accepted = 0;         ///< requests admitted to the queue
+  uint64_t rejected = 0;         ///< bounced by bounded admission (or stop)
+  uint64_t completed = 0;        ///< served with an engine answer
+  uint64_t deadline_missed = 0;  ///< expired in the queue, never executed
+  uint64_t batches = 0;          ///< worker wakeups that drained >= 1 request
+  uint64_t slab_searches_saved = 0;  ///< tau-batching: binary searches elided
+  LatencyHistogram::Snapshot queue_wait;  ///< admission -> worker pickup
+  LatencyHistogram::Snapshot execute;     ///< engine time per served query
+  LatencyHistogram::Snapshot total;       ///< admission -> response ready
+};
+
+/// The lock-free instrumentation an EsdQueryService carries: monotonically
+/// increasing counters plus per-stage latency histograms. All recorders are
+/// wait-free relaxed atomics; exporters may be called concurrently.
+class ServiceMetrics {
+ public:
+  void RecordAccepted() { accepted_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordBatch(size_t distinct_taus, size_t batched_queries) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    slab_searches_saved_.fetch_add(batched_queries - distinct_taus,
+                                   std::memory_order_relaxed);
+  }
+  void RecordDeadlineMissed(double queue_us) {
+    deadline_missed_.fetch_add(1, std::memory_order_relaxed);
+    queue_wait_.RecordMicros(queue_us);
+  }
+  void RecordCompleted(double queue_us, double exec_us) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    queue_wait_.RecordMicros(queue_us);
+    execute_.RecordMicros(exec_us);
+    total_.RecordMicros(queue_us + exec_us);
+  }
+
+  MetricsSnapshot Snap() const {
+    MetricsSnapshot s;
+    s.accepted = accepted_.load(std::memory_order_relaxed);
+    s.rejected = rejected_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.deadline_missed = deadline_missed_.load(std::memory_order_relaxed);
+    s.batches = batches_.load(std::memory_order_relaxed);
+    s.slab_searches_saved =
+        slab_searches_saved_.load(std::memory_order_relaxed);
+    s.queue_wait = queue_wait_.Snap();
+    s.execute = execute_.Snap();
+    s.total = total_.Snap();
+    return s;
+  }
+
+ private:
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> deadline_missed_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> slab_searches_saved_{0};
+  LatencyHistogram queue_wait_;
+  LatencyHistogram execute_;
+  LatencyHistogram total_;
+};
+
+/// Extra key/value fields (no surrounding braces) in the machine-readable
+/// JSON-line dialect bench_common.h emits, appendable to a '{"bench":...'
+/// line: counters plus end-to-end and per-stage percentiles.
+inline std::string MetricsJsonFields(const MetricsSnapshot& s) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "\"accepted\":%llu,\"rejected\":%llu,\"completed\":%llu,"
+      "\"deadline_missed\":%llu,\"batches\":%llu,"
+      "\"slab_searches_saved\":%llu,"
+      "\"p50_us\":%.3f,\"p95_us\":%.3f,\"p99_us\":%.3f,"
+      "\"queue_p95_us\":%.3f,\"exec_p95_us\":%.3f",
+      static_cast<unsigned long long>(s.accepted),
+      static_cast<unsigned long long>(s.rejected),
+      static_cast<unsigned long long>(s.completed),
+      static_cast<unsigned long long>(s.deadline_missed),
+      static_cast<unsigned long long>(s.batches),
+      static_cast<unsigned long long>(s.slab_searches_saved),
+      s.total.p50_us, s.total.p95_us, s.total.p99_us, s.queue_wait.p95_us,
+      s.execute.p95_us);
+  return buf;
+}
+
+}  // namespace esd::serve
+
+#endif  // ESD_SERVE_METRICS_H_

@@ -1,0 +1,180 @@
+#include "serve/query_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace esd::serve {
+
+namespace {
+
+double Micros(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+}  // namespace
+
+EsdQueryService::EsdQueryService(const core::EsdQueryEngine& engine)
+    : EsdQueryService(engine, Options{}) {}
+
+EsdQueryService::EsdQueryService(const core::EsdQueryEngine& engine,
+                                 const Options& options)
+    : engine_(engine),
+      frozen_(dynamic_cast<const core::FrozenEsdIndex*>(&engine)),
+      num_threads_(options.num_threads == 0
+                       ? util::ThreadPool::DefaultThreadCount()
+                       : options.num_threads),
+      max_queue_(std::max<size_t>(1, options.max_queue)),
+      max_batch_(std::max<size_t>(1, options.max_batch)),
+      pool_(num_threads_) {
+  if (!options.start_paused) Start();
+}
+
+EsdQueryService::~EsdQueryService() { Stop(); }
+
+void EsdQueryService::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_ || stop_) return;
+    started_ = true;
+  }
+  runner_ = std::thread([this] {
+    pool_.ParallelFor(0, num_threads_, 1, [this](uint64_t) { WorkerLoop(); });
+  });
+}
+
+std::future<QueryResponse> EsdQueryService::Submit(
+    const QueryRequest& request) {
+  Pending p;
+  p.request = request;
+  p.enqueued = Clock::now();
+  p.deadline =
+      request.deadline_us == 0
+          ? Clock::time_point::max()
+          : p.enqueued + std::chrono::microseconds(request.deadline_us);
+  std::future<QueryResponse> future = p.promise.get_future();
+
+  ResponseStatus bounce = ResponseStatus::kOk;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      bounce = ResponseStatus::kShutdown;
+    } else if (queue_.size() >= max_queue_) {
+      bounce = ResponseStatus::kRejectedQueueFull;
+    } else {
+      queue_.push_back(std::move(p));
+    }
+  }
+  if (bounce != ResponseStatus::kOk) {
+    metrics_.RecordRejected();
+    QueryResponse response;
+    response.status = bounce;
+    p.promise.set_value(std::move(response));
+  } else {
+    metrics_.RecordAccepted();
+    queue_ready_.notify_one();
+  }
+  return future;
+}
+
+QueryResponse EsdQueryService::Query(const QueryRequest& request) {
+  return Submit(request).get();
+}
+
+void EsdQueryService::Stop() {
+  std::vector<Pending> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    if (!started_) {
+      // Paused service: no worker will ever drain the queue; answer the
+      // backlog here instead of leaving promises unsatisfied.
+      orphans.assign(std::make_move_iterator(queue_.begin()),
+                     std::make_move_iterator(queue_.end()));
+      queue_.clear();
+    }
+  }
+  queue_ready_.notify_all();
+  for (Pending& p : orphans) {
+    QueryResponse response;
+    response.status = ResponseStatus::kShutdown;
+    p.promise.set_value(std::move(response));
+  }
+  if (runner_.joinable()) runner_.join();
+}
+
+void EsdQueryService::WorkerLoop() {
+  while (true) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and backlog drained
+      const size_t take = std::min(max_batch_, queue_.size());
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      // More work may remain for the other workers.
+      if (!queue_.empty()) queue_ready_.notify_one();
+    }
+    ServeBatch(std::move(batch));
+  }
+}
+
+void EsdQueryService::ServeBatch(std::vector<Pending> batch) {
+  // Group by tau (stable: FIFO preserved within a tau) so the frozen
+  // engine's sizes_ binary search runs once per distinct tau in the batch.
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const Pending& a, const Pending& b) {
+                     return a.request.tau < b.request.tau;
+                   });
+  // Two passes — serve everything (recording per-request and per-batch
+  // metrics), then resolve the promises — so by the time any client
+  // observes a response, every metric for this batch is already visible.
+  std::vector<QueryResponse> responses(batch.size());
+  size_t executed = 0;
+  size_t distinct_taus = 0;
+  size_t slab = core::FrozenEsdIndex::kNoSlab;
+  uint32_t slab_tau = 0;
+  bool have_slab = false;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Pending& p = batch[i];
+    const Clock::time_point picked_up = Clock::now();
+    QueryResponse& response = responses[i];
+    response.queue_us = Micros(picked_up - p.enqueued);
+    if (picked_up > p.deadline) {
+      response.status = ResponseStatus::kDeadlineMissed;
+      metrics_.RecordDeadlineMissed(response.queue_us);
+    } else {
+      const QueryRequest& rq = p.request;
+      util::Timer timer;
+      if (frozen_ != nullptr && rq.k > 0 && rq.tau > 0) {
+        if (!have_slab || slab_tau != rq.tau) {
+          slab = frozen_->FindSlab(rq.tau);
+          slab_tau = rq.tau;
+          have_slab = true;
+          ++distinct_taus;
+        }
+        response.result =
+            frozen_->QueryAtSlab(slab, rq.k, rq.pad_with_zero_edges);
+      } else {
+        // Degenerate (k or tau 0) or non-frozen engine: per-request path.
+        response.result = engine_.Query(rq.k, rq.tau, rq.pad_with_zero_edges);
+        ++distinct_taus;
+      }
+      response.exec_us = timer.ElapsedMicros();
+      response.status = ResponseStatus::kOk;
+      metrics_.RecordCompleted(response.queue_us, response.exec_us);
+      ++executed;
+    }
+  }
+  if (executed > 0) metrics_.RecordBatch(distinct_taus, executed);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(std::move(responses[i]));
+  }
+}
+
+}  // namespace esd::serve

@@ -1,0 +1,149 @@
+#ifndef ESD_SERVE_QUERY_SERVICE_H_
+#define ESD_SERVE_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/frozen_index.h"
+#include "core/query_engine.h"
+#include "serve/metrics.h"
+#include "util/thread_pool.h"
+
+namespace esd::serve {
+
+/// One top-k query as submitted by a client.
+struct QueryRequest {
+  uint32_t k = 10;
+  uint32_t tau = 2;
+  bool pad_with_zero_edges = true;
+  /// Deadline relative to Submit(), in microseconds; 0 = none. A request
+  /// still queued when its deadline passes is answered kDeadlineMissed
+  /// without touching the engine (the engine call itself is never aborted).
+  uint64_t deadline_us = 0;
+};
+
+enum class ResponseStatus : uint8_t {
+  kOk = 0,
+  kRejectedQueueFull,  ///< bounced by bounded admission, never queued
+  kDeadlineMissed,     ///< expired while queued, engine never ran
+  kShutdown,           ///< submitted after Stop(), or unserved at teardown
+};
+
+/// The service's answer to one QueryRequest.
+struct QueryResponse {
+  ResponseStatus status = ResponseStatus::kOk;
+  core::TopKResult result;  ///< empty unless status == kOk
+  double queue_us = 0;      ///< admission -> worker pickup (0 if rejected)
+  double exec_us = 0;       ///< engine time (0 unless status == kOk)
+};
+
+/// Concurrent query service over one shared immutable EsdQueryEngine — the
+/// paper's build-once / query-forever workload as an actual server loop.
+///
+/// Shape: Submit() pushes into one bounded FIFO (admission control: a full
+/// queue rejects instead of blocking, so overload degrades by shedding, not
+/// by unbounded memory). Worker loops — run on the existing
+/// util::ThreadPool via one long-lived ParallelFor, one loop per pool
+/// thread — drain up to max_batch requests per wakeup and serve them
+/// batched: the batch is sorted by tau, so when the engine is a
+/// FrozenEsdIndex the slab binary search is paid once per distinct tau in
+/// the batch rather than once per query (FindSlab/QueryAtSlab). Under low
+/// load batches degenerate to size 1 and the service behaves like a plain
+/// thread-per-request executor; under load batching kicks in naturally.
+///
+/// The engine is shared by const reference across all workers, relying on
+/// the EsdQueryEngine thread-safety contract: the caller must not mutate
+/// the engine (or an online adapter's borrowed graph) while the service is
+/// alive. FrozenEsdIndex, immutable by construction, is the intended
+/// engine.
+///
+/// Responses are delivered through std::future. Stop() (also run by the
+/// destructor) drains gracefully: every admitted request is still served;
+/// only requests submitted after Stop() — or left queued when a paused
+/// service is torn down — see kShutdown.
+class EsdQueryService {
+ public:
+  struct Options {
+    /// Worker threads; 0 = util::ThreadPool::DefaultThreadCount().
+    unsigned num_threads = 0;
+    /// Bounded admission: queue length beyond which Submit rejects.
+    size_t max_queue = 1024;
+    /// Max requests one worker drains per wakeup (the batching window).
+    size_t max_batch = 32;
+    /// When true the constructor does not start the workers; requests
+    /// queue (and admission/deadlines apply) until Start(). Lets tests
+    /// stage a deterministic backlog.
+    bool start_paused = false;
+  };
+
+  explicit EsdQueryService(const core::EsdQueryEngine& engine);
+  EsdQueryService(const core::EsdQueryEngine& engine, const Options& options);
+  ~EsdQueryService();
+
+  EsdQueryService(const EsdQueryService&) = delete;
+  EsdQueryService& operator=(const EsdQueryService&) = delete;
+
+  /// Starts the worker loops (no-op unless constructed start_paused, or
+  /// called twice).
+  void Start();
+
+  /// Non-blocking admission. The future is always eventually ready; a
+  /// rejected or post-Stop request resolves immediately.
+  std::future<QueryResponse> Submit(const QueryRequest& request);
+
+  /// Blocking convenience wrapper: Submit + wait. Deadlocks on a paused
+  /// service (nothing serves the queue) — call Start() first.
+  QueryResponse Query(const QueryRequest& request);
+
+  /// Stops accepting work, serves everything already admitted, joins the
+  /// workers. Idempotent; called by the destructor.
+  void Stop();
+
+  const ServiceMetrics& metrics() const { return metrics_; }
+  unsigned num_threads() const { return num_threads_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    QueryRequest request;
+    std::promise<QueryResponse> promise;
+    Clock::time_point enqueued;
+    Clock::time_point deadline;  // time_point::max() when none
+  };
+
+  void WorkerLoop();
+  void ServeBatch(std::vector<Pending> batch);
+
+  const core::EsdQueryEngine& engine_;
+  /// Non-null when engine_ is a FrozenEsdIndex: enables the batched
+  /// slab-reuse fast path.
+  const core::FrozenEsdIndex* frozen_;
+  const unsigned num_threads_;
+  const size_t max_queue_;
+  const size_t max_batch_;
+
+  ServiceMetrics metrics_;
+  util::ThreadPool pool_;
+
+  std::mutex mu_;
+  std::condition_variable queue_ready_;
+  std::deque<Pending> queue_;
+  bool stop_ = false;
+  bool started_ = false;
+
+  /// Drives pool_.ParallelFor(0, num_threads_, ...) with one WorkerLoop per
+  /// iteration; exists so construction returns while workers run.
+  std::thread runner_;
+};
+
+}  // namespace esd::serve
+
+#endif  // ESD_SERVE_QUERY_SERVICE_H_

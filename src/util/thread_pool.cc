@@ -4,6 +4,11 @@
 
 namespace esd::util {
 
+unsigned ThreadPool::DefaultThreadCount() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
 ThreadPool::ThreadPool(unsigned num_threads)
     : num_threads_(std::max(1u, num_threads)) {
   workers_.reserve(num_threads_ - 1);

@@ -25,6 +25,10 @@ class ThreadPool {
   explicit ThreadPool(unsigned num_threads);
   ~ThreadPool();
 
+  /// std::thread::hardware_concurrency clamped to >= 1 — the default worker
+  /// count for the serving layer and the bench thread sweeps.
+  static unsigned DefaultThreadCount();
+
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 

@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -351,6 +353,93 @@ TEST(IndexIoV2Test, CorruptV2Rejected) {
     std::stringstream in(bad);
     EsdIndex out;
     EXPECT_FALSE(core::DeserializeIndex(in, &out, &error));
+  }
+}
+
+/// Byte offsets (into a serialized v2 stream) of each array's u64 element
+/// count, derived from the actual array lengths: 4 magic + 4 version, then
+/// per array an 8-byte count followed by the payload.
+std::vector<size_t> V2CountOffsets(const FrozenEsdIndex& frozen) {
+  std::vector<size_t> offsets;
+  size_t pos = 8;
+  const size_t payload_bytes[] = {
+      frozen.Edges().size() * sizeof(graph::Edge),
+      frozen.LiveMask().size() * sizeof(uint8_t),
+      std::max<size_t>(frozen.SizeOffsets().size(), 1) * sizeof(uint64_t),
+      frozen.SizePool().size() * sizeof(uint32_t),
+      frozen.Sizes().size() * sizeof(uint32_t),
+      std::max<size_t>(frozen.SlabOffsets().size(), 1) * sizeof(uint64_t),
+      frozen.Entries().size() * sizeof(FrozenEsdIndex::Entry),
+  };
+  for (size_t bytes : payload_bytes) {
+    offsets.push_back(pos);
+    pos += sizeof(uint64_t) + bytes;
+  }
+  return offsets;
+}
+
+TEST(IndexIoV2Test, OversizedCountsRejectedWithoutAllocation) {
+  // A corrupt or hostile v2 file may claim any 64-bit element count; the
+  // loader must reject it with a parse error before trusting it with an
+  // allocation. Fuzz every array's count slot with a spread of oversized
+  // values (the driver acceptance case: no multi-GB resize, no n*sizeof(T)
+  // overflow — just a clean error).
+  graph::Graph g = gen::ErdosRenyiGnm(12, 30, 21);
+  FrozenEsdIndex frozen = core::BuildFrozenIndex(g);
+  std::stringstream buf;
+  std::string error;
+  ASSERT_TRUE(core::SerializeFrozenIndex(frozen, buf, &error)) << error;
+  const std::string good = buf.str();
+
+  const uint64_t hostile_counts[] = {
+      uint64_t{1} << 61,                      // ~exabyte resize request
+      std::numeric_limits<uint64_t>::max(),   // n * sizeof(T) overflows
+      static_cast<uint64_t>(good.size()) + 1  // just past the real stream
+  };
+  for (size_t offset : V2CountOffsets(frozen)) {
+    for (uint64_t n : hostile_counts) {
+      std::string bad = good;
+      std::memcpy(bad.data() + offset, &n, sizeof(n));
+      std::stringstream in(bad);
+      FrozenEsdIndex out;
+      error.clear();
+      EXPECT_FALSE(core::DeserializeFrozenIndex(in, &out, &error))
+          << "offset=" << offset << " n=" << n;
+      EXPECT_NE(error.find("exceeds remaining bytes"), std::string::npos)
+          << "offset=" << offset << " n=" << n << " error=" << error;
+    }
+  }
+  // The same hostile counts must fail the treap loader's v2 path too.
+  {
+    std::string bad = good;
+    const uint64_t huge = uint64_t{1} << 61;
+    std::memcpy(bad.data() + 8, &huge, sizeof(huge));
+    std::stringstream in(bad);
+    EsdIndex out;
+    EXPECT_FALSE(core::DeserializeIndex(in, &out, &error));
+  }
+}
+
+TEST(IndexIoV2Test, TruncatedBlockRejected) {
+  // Cut the stream mid-payload (not merely at the tail): the length prefix
+  // promises more elements than the stream holds.
+  graph::Graph g = gen::ErdosRenyiGnm(12, 30, 22);
+  FrozenEsdIndex frozen = core::BuildFrozenIndex(g);
+  ASSERT_FALSE(frozen.Edges().empty());
+  std::stringstream buf;
+  std::string error;
+  ASSERT_TRUE(core::SerializeFrozenIndex(frozen, buf, &error)) << error;
+  const std::string good = buf.str();
+
+  // End inside the first element of the edges array: header (8) + count
+  // (8) + half an edge.
+  for (size_t keep : {size_t{16}, size_t{16 + sizeof(graph::Edge) / 2},
+                      good.size() / 2}) {
+    std::stringstream in(good.substr(0, keep));
+    FrozenEsdIndex out;
+    error.clear();
+    EXPECT_FALSE(core::DeserializeFrozenIndex(in, &out, &error)) << keep;
+    EXPECT_FALSE(error.empty());
   }
 }
 

@@ -1,0 +1,292 @@
+// EsdQueryService: many threads hammering one immutable FrozenEsdIndex
+// must get exactly the single-threaded answers; bounded admission,
+// deadlines, tau-batching, and the metrics layer must behave
+// deterministically. The stress test here is the one the TSan CI job runs
+// against the thread pool + service in combination.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/frozen_index.h"
+#include "core/index_builder.h"
+#include "core/query_engine.h"
+#include "gen/barabasi_albert.h"
+#include "gen/erdos_renyi.h"
+#include "serve/metrics.h"
+#include "serve/query_service.h"
+#include "util/thread_pool.h"
+
+namespace esd {
+namespace {
+
+using core::FrozenEsdIndex;
+using core::TopKResult;
+using serve::EsdQueryService;
+using serve::LatencyHistogram;
+using serve::MetricsSnapshot;
+using serve::QueryRequest;
+using serve::QueryResponse;
+using serve::ResponseStatus;
+
+TEST(ServeTest, StressParityAcrossThreads) {
+  graph::Graph g = gen::BarabasiAlbert(150, 4, 3);
+  FrozenEsdIndex frozen = core::BuildFrozenIndex(g);
+
+  // Single-threaded ground truth over a (k, tau) grid.
+  std::vector<QueryRequest> cases;
+  std::vector<TopKResult> want;
+  for (uint32_t tau : {1u, 2u, 3u, 5u, 9u}) {
+    for (uint32_t k : {1u, 4u, 16u, 64u}) {
+      QueryRequest rq;
+      rq.k = k;
+      rq.tau = tau;
+      cases.push_back(rq);
+      want.push_back(frozen.Query(k, tau));
+    }
+  }
+
+  EsdQueryService::Options opts;
+  opts.num_threads = 4;
+  opts.max_queue = 1 << 14;
+  opts.max_batch = 16;
+  EsdQueryService service(frozen, opts);
+
+  constexpr int kClients = 8;
+  constexpr int kRounds = 200;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int r = 0; r < kRounds; ++r) {
+        const size_t idx = static_cast<size_t>(c * 31 + r * 7) % cases.size();
+        QueryResponse resp = service.Submit(cases[idx]).get();
+        if (resp.status != ResponseStatus::kOk) {
+          failures.fetch_add(1);
+        } else if (resp.result != want[idx]) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  const MetricsSnapshot snap = service.metrics().Snap();
+  EXPECT_EQ(snap.accepted, static_cast<uint64_t>(kClients * kRounds));
+  EXPECT_EQ(snap.completed, static_cast<uint64_t>(kClients * kRounds));
+  EXPECT_EQ(snap.rejected, 0u);
+  EXPECT_EQ(snap.deadline_missed, 0u);
+  EXPECT_GE(snap.batches, 1u);
+  EXPECT_EQ(snap.total.count, snap.completed);
+  EXPECT_GT(snap.total.p50_us, 0.0);
+  EXPECT_LE(snap.total.p50_us, snap.total.p95_us);
+  EXPECT_LE(snap.total.p95_us, snap.total.p99_us);
+}
+
+TEST(ServeTest, ParityAgainstEveryEngineKind) {
+  // The service must answer identically over any engine implementation,
+  // not just the frozen fast path.
+  graph::Graph g = gen::ErdosRenyiGnm(40, 150, 17);
+  for (const std::string& name : core::QueryEngineNames()) {
+    std::string error;
+    std::unique_ptr<core::EsdQueryEngine> engine =
+        core::BuildQueryEngine(g, name, &error);
+    ASSERT_NE(engine, nullptr) << error;
+    EsdQueryService::Options opts;
+    opts.num_threads = 2;
+    EsdQueryService service(*engine, opts);
+    for (uint32_t tau : {1u, 2u, 4u}) {
+      QueryRequest rq;
+      rq.k = 8;
+      rq.tau = tau;
+      QueryResponse resp = service.Query(rq);
+      EXPECT_EQ(resp.status, ResponseStatus::kOk);
+      EXPECT_EQ(resp.result, engine->Query(8, tau)) << name << " tau=" << tau;
+    }
+  }
+}
+
+TEST(ServeTest, BoundedAdmissionRejectsWhenQueueFull) {
+  graph::Graph g = gen::ErdosRenyiGnm(20, 60, 5);
+  FrozenEsdIndex frozen = core::BuildFrozenIndex(g);
+  EsdQueryService::Options opts;
+  opts.num_threads = 1;
+  opts.max_queue = 2;
+  opts.start_paused = true;  // nothing drains: the backlog is deterministic
+  EsdQueryService service(frozen, opts);
+
+  std::future<QueryResponse> a = service.Submit({});
+  std::future<QueryResponse> b = service.Submit({});
+  QueryResponse rejected = service.Submit({}).get();  // queue is full
+  EXPECT_EQ(rejected.status, ResponseStatus::kRejectedQueueFull);
+  EXPECT_TRUE(rejected.result.empty());
+
+  MetricsSnapshot snap = service.metrics().Snap();
+  EXPECT_EQ(snap.accepted, 2u);
+  EXPECT_EQ(snap.rejected, 1u);
+
+  service.Start();
+  EXPECT_EQ(a.get().status, ResponseStatus::kOk);
+  EXPECT_EQ(b.get().status, ResponseStatus::kOk);
+}
+
+TEST(ServeTest, DeadlineMissedInQueue) {
+  graph::Graph g = gen::ErdosRenyiGnm(20, 60, 6);
+  FrozenEsdIndex frozen = core::BuildFrozenIndex(g);
+  EsdQueryService::Options opts;
+  opts.num_threads = 1;
+  opts.start_paused = true;
+  EsdQueryService service(frozen, opts);
+
+  QueryRequest hurried;
+  hurried.deadline_us = 1000;  // 1 ms, spent entirely in the paused queue
+  std::future<QueryResponse> missed = service.Submit(hurried);
+  std::future<QueryResponse> unhurried = service.Submit({});
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  service.Start();
+
+  EXPECT_EQ(missed.get().status, ResponseStatus::kDeadlineMissed);
+  EXPECT_EQ(unhurried.get().status, ResponseStatus::kOk);
+  MetricsSnapshot snap = service.metrics().Snap();
+  EXPECT_EQ(snap.deadline_missed, 1u);
+  EXPECT_EQ(snap.completed, 1u);
+}
+
+TEST(ServeTest, BatchingSharesSlabSearchAcrossEqualTaus) {
+  graph::Graph g = gen::BarabasiAlbert(60, 3, 9);
+  FrozenEsdIndex frozen = core::BuildFrozenIndex(g);
+  EsdQueryService::Options opts;
+  opts.num_threads = 1;
+  opts.max_batch = 64;
+  opts.start_paused = true;
+  EsdQueryService service(frozen, opts);
+
+  // 12 queries over 4 distinct taus, all queued before the single worker
+  // starts: one batch, sorted by tau, 12 - 4 = 8 binary searches saved.
+  std::vector<std::future<QueryResponse>> futures;
+  std::vector<TopKResult> want;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (uint32_t tau : {1u, 2u, 3u, 4u}) {
+      QueryRequest rq;
+      rq.k = 5;
+      rq.tau = tau;
+      futures.push_back(service.Submit(rq));
+      want.push_back(frozen.Query(5, tau));
+    }
+  }
+  service.Start();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    QueryResponse resp = futures[i].get();
+    EXPECT_EQ(resp.status, ResponseStatus::kOk);
+    EXPECT_EQ(resp.result, want[i]) << "i=" << i;
+  }
+  MetricsSnapshot snap = service.metrics().Snap();
+  EXPECT_EQ(snap.completed, 12u);
+  EXPECT_EQ(snap.batches, 1u);
+  EXPECT_EQ(snap.slab_searches_saved, 8u);
+}
+
+TEST(ServeTest, StopDrainsAdmittedAndBouncesLate) {
+  graph::Graph g = gen::ErdosRenyiGnm(25, 80, 7);
+  FrozenEsdIndex frozen = core::BuildFrozenIndex(g);
+  EsdQueryService::Options opts;
+  opts.num_threads = 2;
+  EsdQueryService service(frozen, opts);
+  std::vector<std::future<QueryResponse>> admitted;
+  for (int i = 0; i < 50; ++i) admitted.push_back(service.Submit({}));
+  service.Stop();
+  for (auto& f : admitted) {
+    EXPECT_EQ(f.get().status, ResponseStatus::kOk);  // graceful drain
+  }
+  EXPECT_EQ(service.Submit({}).get().status, ResponseStatus::kShutdown);
+}
+
+TEST(ServeTest, PausedTeardownAnswersBacklogWithShutdown) {
+  graph::Graph g = gen::ErdosRenyiGnm(25, 80, 8);
+  FrozenEsdIndex frozen = core::BuildFrozenIndex(g);
+  std::future<QueryResponse> orphan;
+  {
+    EsdQueryService::Options opts;
+    opts.start_paused = true;
+    EsdQueryService service(frozen, opts);
+    orphan = service.Submit({});
+  }
+  EXPECT_EQ(orphan.get().status, ResponseStatus::kShutdown);
+}
+
+TEST(ServeTest, DegenerateRequestsMatchEngineSemantics) {
+  graph::Graph g = gen::ErdosRenyiGnm(25, 80, 10);
+  FrozenEsdIndex frozen = core::BuildFrozenIndex(g);
+  EsdQueryService service(frozen, {});
+  QueryRequest zero_k;
+  zero_k.k = 0;
+  EXPECT_TRUE(service.Query(zero_k).result.empty());
+  QueryRequest zero_tau;
+  zero_tau.tau = 0;
+  EXPECT_TRUE(service.Query(zero_tau).result.empty());
+  QueryRequest huge_tau;
+  huge_tau.tau = 1u << 30;  // above every stored size: all padding
+  EXPECT_EQ(service.Query(huge_tau).result,
+            frozen.Query(huge_tau.k, huge_tau.tau));
+}
+
+TEST(ServeMetricsTest, HistogramPercentilesAreLogScaleAccurate) {
+  LatencyHistogram h;
+  // 100 samples: 1..100 µs. Log-scale buckets promise <= 12.5% error.
+  for (uint64_t us = 1; us <= 100; ++us) h.RecordNanos(us * 1000);
+  LatencyHistogram::Snapshot s = h.Snap();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_NEAR(s.p50_us, 50.0, 50.0 * 0.125 + 0.5);
+  EXPECT_NEAR(s.p95_us, 95.0, 95.0 * 0.125 + 0.5);
+  EXPECT_NEAR(s.p99_us, 99.0, 99.0 * 0.125 + 0.5);
+  EXPECT_DOUBLE_EQ(s.max_us, 100.0);
+  EXPECT_NEAR(s.mean_us, 50.5, 1e-9);
+  EXPECT_LE(s.p50_us, s.p95_us);
+  EXPECT_LE(s.p95_us, s.p99_us);
+}
+
+TEST(ServeMetricsTest, HistogramIsSafeUnderConcurrentRecords) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.RecordNanos(static_cast<uint64_t>(t) * 1000 + 100);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.Snap().count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ServeMetricsTest, JsonFieldsAreWellFormed) {
+  serve::ServiceMetrics m;
+  m.RecordAccepted();
+  m.RecordCompleted(12.0, 3.0);
+  const std::string fields = serve::MetricsJsonFields(m.Snap());
+  EXPECT_NE(fields.find("\"accepted\":1"), std::string::npos) << fields;
+  EXPECT_NE(fields.find("\"completed\":1"), std::string::npos) << fields;
+  EXPECT_NE(fields.find("\"p95_us\":"), std::string::npos) << fields;
+  EXPECT_EQ(fields.find('{'), std::string::npos) << fields;
+}
+
+TEST(ThreadPoolServeTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(util::ThreadPool::DefaultThreadCount(), 1u);
+}
+
+}  // namespace
+}  // namespace esd
