@@ -8,6 +8,8 @@
 
 #include "gen/datasets.h"
 #include "graph/graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace esd::bench {
@@ -69,6 +71,81 @@ inline void EmitJson(const std::string& bench, const std::string& engine,
       "\"op\":\"%s\",\"wall_ms\":%.6f,\"bytes\":%llu}\n",
       bench.c_str(), engine.c_str(), dataset.c_str(), op.c_str(), wall_ms,
       static_cast<unsigned long long>(bytes));
+}
+
+/// EmitJson with extra comma-separated "key":value fields (no braces, no
+/// leading comma), as produced by MetricRegistry::JsonFields or
+/// PhaseJsonFields. Empty `extra` degrades to the plain line.
+inline void EmitJson(const std::string& bench, const std::string& engine,
+                     const std::string& dataset, const std::string& op,
+                     double wall_ms, uint64_t bytes,
+                     const std::string& extra) {
+  if (extra.empty()) {
+    EmitJson(bench, engine, dataset, op, wall_ms, bytes);
+    return;
+  }
+  std::printf(
+      "{\"bench\":\"%s\",\"engine\":\"%s\",\"dataset\":\"%s\","
+      "\"op\":\"%s\",\"wall_ms\":%.6f,\"bytes\":%llu,%s}\n",
+      bench.c_str(), engine.c_str(), dataset.c_str(), op.c_str(), wall_ms,
+      static_cast<unsigned long long>(bytes), extra.c_str());
+}
+
+/// Every builder phase that PhaseSeries can charge time to (short names;
+/// the backing gauge is esd_phase_build_<name>_seconds on the global
+/// registry). Gauges exist in both ESD_OBS modes, so phase breakdowns
+/// survive ESD_OBS=OFF even though spans do not.
+inline const std::vector<std::string>& BuildPhaseNames() {
+  static const std::vector<std::string> names{
+      "ego_bfs",       "dsu_init",    "orientation", "clique_enum",
+      "extract_sizes", "hlist_build", "slab_sort"};
+  return names;
+}
+
+/// Point snapshot of the cumulative per-phase gauges, index-aligned with
+/// BuildPhaseNames(). Subtract two snapshots to isolate one build.
+inline std::vector<double> SnapBuildPhaseSeconds() {
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  std::vector<double> out;
+  out.reserve(BuildPhaseNames().size());
+  for (const std::string& name : BuildPhaseNames()) {
+    out.push_back(reg.GaugeValue("esd_phase_build_" + name + "_seconds"));
+  }
+  return out;
+}
+
+/// JSON fields ("phase_<name>_ms":V, comma-separated, no leading comma)
+/// for the phases that ran between two SnapBuildPhaseSeconds snapshots.
+inline std::string PhaseJsonFields(const std::vector<double>& before,
+                                   const std::vector<double>& after) {
+  const std::vector<std::string>& names = BuildPhaseNames();
+  std::string out;
+  char buf[96];
+  for (size_t i = 0; i < names.size() && i < after.size(); ++i) {
+    const double ms = (after[i] - (i < before.size() ? before[i] : 0)) * 1e3;
+    if (ms <= 0) continue;
+    std::snprintf(buf, sizeof(buf), "\"phase_%s_ms\":%.3f,",
+                  names[i].c_str(), ms);
+    out += buf;
+  }
+  if (!out.empty()) out.pop_back();  // trailing comma
+  return out;
+}
+
+/// Writes the spans collected so far to $ESD_TRACE_OUT as Chrome trace
+/// JSON (load via chrome://tracing or Perfetto). Call once at the end of
+/// main; a no-op when the variable is unset. Under ESD_OBS=OFF the write
+/// fails with a diagnostic instead of producing an empty trace.
+inline void MaybeWriteTrace(const std::string& bench) {
+  const char* path = std::getenv("ESD_TRACE_OUT");
+  if (path == nullptr || path[0] == '\0') return;
+  std::string error;
+  if (obs::Tracer::Global().WriteChromeTrace(path, &error)) {
+    std::fprintf(stderr, "%s: trace written to %s\n", bench.c_str(), path);
+  } else {
+    std::fprintf(stderr, "%s: trace not written: %s\n", bench.c_str(),
+                 error.c_str());
+  }
 }
 
 }  // namespace esd::bench

@@ -36,12 +36,24 @@ int main() {
               "ESDIndex (ms)", "ESDIndex+ (ms)", "speedup");
   for (const gen::Dataset& d : datasets) {
     uint32_t delta = graph::ComputeCores(d.graph).degeneracy;
+    // Bracketing the per-phase gauges isolates each builder's breakdown
+    // (the gauges on the global registry are cumulative).
+    const std::vector<double> at_start = bench::SnapBuildPhaseSeconds();
     double t_basic =
         bench::TimeOnce([&] { core::BuildIndexBasic(d.graph); });
+    const std::vector<double> after_basic = bench::SnapBuildPhaseSeconds();
     double t_clique =
         bench::TimeOnce([&] { core::BuildIndexClique(d.graph); });
+    const std::vector<double> after_clique = bench::SnapBuildPhaseSeconds();
     std::printf("%-15s %6u %16.1f %16.1f %8.2fx\n", d.name.c_str(), delta,
                 t_basic * 1e3, t_clique * 1e3, t_basic / t_clique);
+    bench::EmitJson("fig6_index_construction", "basic", d.name, "build",
+                    t_basic * 1e3, 0,
+                    bench::PhaseJsonFields(at_start, after_basic));
+    bench::EmitJson("fig6_index_construction", "clique", d.name, "build",
+                    t_clique * 1e3, 0,
+                    bench::PhaseJsonFields(after_basic, after_clique));
   }
+  bench::MaybeWriteTrace("fig6_index_construction");
   return 0;
 }

@@ -94,10 +94,12 @@ void EmitServeJson(const std::string& dataset, const std::string& op,
                    const MetricsSnapshot& snap, double qps) {
   std::printf(
       "{\"bench\":\"serve_load\",\"engine\":\"frozen\",\"dataset\":\"%s\","
-      "\"op\":\"%s\",\"wall_ms\":%.6f,\"bytes\":%llu,\"qps\":%.1f,%s}\n",
+      "\"op\":\"%s\",\"wall_ms\":%.6f,\"bytes\":%llu,\"qps\":%.1f,%s,"
+      "\"queue_p50_us\":%.1f,\"exec_p50_us\":%.1f,\"mean_us\":%.1f}\n",
       dataset.c_str(), op.c_str(), wall_ms,
       static_cast<unsigned long long>(bytes), qps,
-      esd::serve::MetricsJsonFields(snap).c_str());
+      esd::serve::MetricsJsonFields(snap).c_str(), snap.queue_wait.p50_us,
+      snap.execute.p50_us, snap.total.mean_us);
 }
 
 /// Closed loop: `clients` threads submit-and-wait until `total` requests
@@ -225,5 +227,6 @@ int main() {
       "slab_searches_saved in the JSON lines).\n",
       best_multi_qps, single_thread_qps,
       single_thread_qps > 0 ? best_multi_qps / single_thread_qps : 0.0);
+  bench::MaybeWriteTrace("serve_load");
   return 0;
 }

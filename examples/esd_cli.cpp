@@ -37,6 +37,7 @@
 #include "graph/connectivity.h"
 #include "graph/core_decomposition.h"
 #include "graph/io.h"
+#include "obs/metrics.h"
 #include "util/timer.h"
 
 namespace {
@@ -46,8 +47,8 @@ void Usage() {
                "esd_cli %s\n"
                "usage: esd_cli (--file <edge_list> | --dataset <name>)\n"
                "               [--scale S] [--k K] [--tau T] [--engine E]\n"
-               "               [--online] [--stats] [--save-index P]\n"
-               "               [--load-index P]\n"
+               "               [--online] [--stats] [--metrics]\n"
+               "               [--save-index P] [--load-index P]\n"
                "engines:",
                esd::kVersionString);
   for (const std::string& name : esd::core::QueryEngineNames()) {
@@ -69,6 +70,7 @@ int main(int argc, char** argv) {
   double scale = 1.0;
   uint32_t k = 10, tau = 2;
   bool stats = false;
+  bool metrics = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -94,6 +96,8 @@ int main(int argc, char** argv) {
       engine_name = "online";
     } else if (arg == "--stats") {
       stats = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
     } else if (arg == "--save-index") {
       save_index = next();
     } else if (arg == "--load-index") {
@@ -215,6 +219,25 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < result.size(); ++i) {
     std::printf("%-6zu (%u,%u)%-6s %u\n", i + 1, result[i].edge.u,
                 result[i].edge.v, "", result[i].score);
+  }
+
+  // Per-engine work counters, reachable through the interface for every
+  // engine (the online adapter reports its pruning power here).
+  const core::EngineCounters counters = engine->Counters();
+  std::printf(
+      "\nengine counters: queries=%llu slab_searches=%llu "
+      "entries_scanned=%llu heap_pops=%llu exact=%llu zero_bound_skips=%llu\n",
+      static_cast<unsigned long long>(counters.queries),
+      static_cast<unsigned long long>(counters.slab_searches),
+      static_cast<unsigned long long>(counters.entries_scanned),
+      static_cast<unsigned long long>(counters.heap_pops),
+      static_cast<unsigned long long>(counters.exact_computations),
+      static_cast<unsigned long long>(counters.zero_bound_skips));
+
+  if (metrics) {
+    obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+    core::ExportEngineCounters(*engine, &registry);
+    std::printf("\n%s", registry.PrometheusText().c_str());
   }
   return 0;
 }

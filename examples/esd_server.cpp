@@ -5,6 +5,15 @@
 // latency, queue-wait vs execute tails, admission rejects and deadline
 // misses.
 //
+// After the burst the server reads commands from stdin until EOF/QUIT:
+//   QUERY <k> <tau>   run one query through the service, print the edges
+//   STATS             one-line service metrics snapshot
+//   METRICS           Prometheus text exposition of the global registry,
+//                     terminated by a "# EOF" line
+//   TRACE <path>      write collected spans as Chrome trace JSON
+//   QUIT              shut down
+// (With stdin at EOF — e.g. the smoke test — the loop exits immediately.)
+//
 // Usage:
 //   esd_server --dataset pokec-s [--scale 0.2] [--threads 4] [--clients 8]
 //              [--requests 5000] [--max-queue 1024] [--deadline-us 0]
@@ -18,7 +27,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <future>
+#include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <utility>
@@ -31,6 +42,8 @@
 #include "gen/datasets.h"
 #include "graph/graph.h"
 #include "graph/io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/metrics.h"
 #include "serve/query_service.h"
 #include "util/rng.h"
@@ -154,6 +167,9 @@ int main(int argc, char** argv) {
   serve::EsdQueryService::Options opts;
   opts.num_threads = threads;
   opts.max_queue = max_queue;
+  // Host the service metrics on the process-wide registry so METRICS can
+  // dump them alongside the engine counters and phase gauges.
+  opts.registry = &obs::MetricRegistry::Global();
   serve::EsdQueryService service(*engine, opts);
   std::printf("service up: %u worker threads, queue bound %zu\n\n",
               service.num_threads(), max_queue);
@@ -181,7 +197,6 @@ int main(int argc, char** argv) {
   }
   for (std::thread& t : client_threads) t.join();
   const double wall_s = wall.ElapsedSeconds();
-  service.Stop();
 
   const uint64_t sent = per_client * clients;
   std::printf("%llu requests in %.1f ms -> %.0f qps\n",
@@ -217,5 +232,67 @@ int main(int argc, char** argv) {
               (dataset.empty() ? file : dataset).c_str(), wall_s * 1e3,
               static_cast<unsigned long long>(engine->MemoryBytes()),
               serve::MetricsJsonFields(snap).c_str());
+
+  // Command loop. The burst above left the service running so QUERY still
+  // goes through the real queue/batch path.
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) continue;
+    if (cmd == "QUIT" || cmd == "EXIT") {
+      break;
+    } else if (cmd == "QUERY") {
+      serve::QueryRequest rq;
+      if (!(in >> rq.k >> rq.tau)) {
+        std::printf("ERR usage: QUERY <k> <tau>\n");
+        continue;
+      }
+      rq.deadline_us = deadline_us;
+      const serve::QueryResponse resp = service.Query(rq);
+      std::printf("OK %s %zu edges, queue %.1f us, exec %.1f us\n",
+                  StatusName(resp.status), resp.result.size(), resp.queue_us,
+                  resp.exec_us);
+      for (size_t i = 0; i < resp.result.size(); ++i) {
+        std::printf("  %zu (%u,%u) %u\n", i + 1, resp.result[i].edge.u,
+                    resp.result[i].edge.v, resp.result[i].score);
+      }
+    } else if (cmd == "STATS") {
+      const serve::MetricsSnapshot s = service.metrics().Snap();
+      std::printf("OK accepted=%llu completed=%llu rejected=%llu "
+                  "deadline_missed=%llu batches=%llu queue_depth=%llu "
+                  "p50_us=%.1f p95_us=%.1f p99_us=%.1f\n",
+                  static_cast<unsigned long long>(s.accepted),
+                  static_cast<unsigned long long>(s.completed),
+                  static_cast<unsigned long long>(s.rejected),
+                  static_cast<unsigned long long>(s.deadline_missed),
+                  static_cast<unsigned long long>(s.batches),
+                  static_cast<unsigned long long>(s.queue_depth),
+                  s.total.p50_us, s.total.p95_us, s.total.p99_us);
+    } else if (cmd == "METRICS") {
+      obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+      core::ExportEngineCounters(*engine, &registry);
+      std::fputs(registry.PrometheusText().c_str(), stdout);
+      std::printf("# EOF\n");
+    } else if (cmd == "TRACE") {
+      std::string path;
+      if (!(in >> path)) {
+        std::printf("ERR usage: TRACE <path>\n");
+        continue;
+      }
+      std::string error;
+      if (obs::Tracer::Global().WriteChromeTrace(path, &error)) {
+        std::printf("OK trace written to %s\n", path.c_str());
+      } else {
+        std::printf("ERR %s\n", error.c_str());
+      }
+    } else {
+      std::printf("ERR unknown command (QUERY/STATS/METRICS/TRACE/QUIT)\n");
+    }
+    std::fflush(stdout);
+  }
+
+  service.Stop();
   return 0;
 }

@@ -5,6 +5,7 @@
 #include "graph/connectivity.h"
 #include "util/binary_heap.h"
 #include "util/flat_map.h"
+#include "util/timer.h"
 
 namespace esd::baselines {
 
@@ -35,9 +36,20 @@ std::vector<ScoredVertex> OnlineVertexTopK(const Graph& g, uint32_t k,
   };
   util::BinaryHeap<VertexId, int64_t> queue;
   queue.Reserve(g.NumVertices());
+  util::Timer bound_timer;
   for (VertexId v = 0; v < g.NumVertices(); ++v) {
-    queue.Push(v, priority(g.Degree(v) / tau, 0));
+    const uint32_t bound = g.Degree(v) / tau;
+    if (bound == 0) {
+      // A neighborhood component has at most d(v) < tau vertices, so the
+      // score is provably 0: certify without an induced-subgraph BFS (the
+      // same zero-bound rule as the edge search).
+      queue.Push(v, priority(0, 1));
+      if (stats != nullptr) ++stats->zero_bound_skips;
+    } else {
+      queue.Push(v, priority(bound, 0));
+    }
   }
+  if (stats != nullptr) stats->bound_seconds = bound_timer.ElapsedSeconds();
   std::vector<uint32_t> exact(g.NumVertices(), 0);
   while (result.size() < k && !queue.empty()) {
     auto [v, prio] = queue.Pop();

@@ -7,15 +7,15 @@
 
 #include "baselines/vertex_diversity.h"
 #include "graph/graph.h"
+#include "obs/search_stats.h"
 #include "util/treap.h"
 
 namespace esd::baselines {
 
-/// Counters for the vertex online search (mirrors core::OnlineStats).
-struct VertexOnlineStats {
-  uint64_t exact_computations = 0;
-  uint64_t heap_pops = 0;
-};
+/// Counters for the vertex online search — the same struct the edge
+/// search reports (core::OnlineStats is this type too), so both
+/// dequeue-twice searches share one set of field/metric names.
+using VertexOnlineStats = obs::OnlineSearchStats;
 
 /// Top-k *vertex* structural diversity via the dequeue-twice framework —
 /// the problem of Huang et al. [2] / Chang et al. [4] that inspired the

@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "core/index_builder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace esd::core {
 
@@ -11,6 +13,28 @@ using graph::Edge;
 using graph::EdgeId;
 using graph::VertexId;
 using util::KeyedDsu;
+
+namespace {
+
+// Resolved once; afterwards each update is one relaxed atomic add.
+obs::Counter& InsertCounter() {
+  static obs::Counter& c = obs::MetricRegistry::Global().GetCounter(
+      "esd_dynamic_inserts_total", "Edge insertions applied (Algorithm 4)");
+  return c;
+}
+obs::Counter& DeleteCounter() {
+  static obs::Counter& c = obs::MetricRegistry::Global().GetCounter(
+      "esd_dynamic_deletes_total", "Edge deletions applied (Algorithm 5)");
+  return c;
+}
+obs::Counter& TouchedCounter() {
+  static obs::Counter& c = obs::MetricRegistry::Global().GetCounter(
+      "esd_dynamic_touched_edges_total",
+      "Edges whose index entries were touched by updates (locality)");
+  return c;
+}
+
+}  // namespace
 
 DynamicEsdIndex::DynamicEsdIndex(const graph::Graph& g,
                                  DeletionStrategy strategy)
@@ -62,7 +86,9 @@ size_t DynamicEsdIndex::ApplyBatch(std::span<const EdgeUpdate> updates) {
 }
 
 bool DynamicEsdIndex::InsertEdge(VertexId u, VertexId v) {
+  ESD_TRACE_SPAN("maintain.insert");
   if (!graph_.InsertEdge(u, v)) return false;
+  InsertCounter().Inc();
   const Edge uv = graph::MakeEdge(u, v);
   const EdgeId e = index_.RegisterEdge(uv);
   if (e >= dsu_.size()) {
@@ -114,14 +140,17 @@ bool DynamicEsdIndex::InsertEdge(VertexId u, VertexId v) {
                  affected.end());
   for (EdgeId a : affected) RefreshScores(a);
   last_touched_ = affected.size();
+  TouchedCounter().Inc(last_touched_);
   return true;
 }
 
 bool DynamicEsdIndex::DeleteEdge(VertexId u, VertexId v) {
+  ESD_TRACE_SPAN("maintain.delete");
   const uint64_t key = Key(u, v);
   const EdgeId* pe = ids_.Find(key);
   if (pe == nullptr) return false;
   const EdgeId e = *pe;
+  DeleteCounter().Inc();
 
   // Snapshot the affected subgraph G̃_{N(uv)} before mutating the graph.
   std::vector<VertexId> common = graph_.CommonNeighbors(u, v);
@@ -185,6 +214,7 @@ bool DynamicEsdIndex::DeleteEdge(VertexId u, VertexId v) {
   dsu_[e] = KeyedDsu();
   ids_.Erase(key);
   last_touched_ = affected.size() + 1;
+  TouchedCounter().Inc(last_touched_);
   return true;
 }
 

@@ -106,6 +106,9 @@ class DynamicEsdIndex final : public EsdQueryEngine {
   uint64_t MemoryBytes() const override { return index_.MemoryBytes(); }
   std::string_view EngineName() const override { return "dynamic"; }
 
+  /// Work counters of the maintained index (queries route through it).
+  EngineCounters Counters() const override { return index_.Counters(); }
+
   /// Current graph.
   const graph::DynamicGraph& CurrentGraph() const { return graph_; }
 

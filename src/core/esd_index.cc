@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.h"
 #include "util/flat_map.h"
 
 namespace esd::core {
@@ -101,6 +102,8 @@ void EsdIndex::SetEdgeSizes(EdgeId e, std::vector<uint32_t> sorted_sizes) {
 
 void EsdIndex::BulkLoad(std::vector<Edge> edges,
                         std::vector<std::vector<uint32_t>> sizes_per_edge) {
+  obs::PhaseSeries phases;
+  phases.Begin("build.hlist_build");
   assert(edges.size() == sizes_per_edge.size());
   lists_.clear();
   size_owner_count_.clear();
@@ -163,6 +166,8 @@ TopKResult EsdIndex::Query(uint32_t k, uint32_t tau,
                            bool pad_with_zero_edges) const {
   TopKResult out;
   if (k == 0 || tau == 0) return out;
+  counters_.AddQuery();
+  counters_.AddSlabSearch();
   auto it = lists_.lower_bound(tau);
   std::vector<EdgeId> taken;
   if (it != lists_.end()) {
@@ -184,6 +189,7 @@ TopKResult EsdIndex::Query(uint32_t k, uint32_t tau,
       }
     }
   }
+  counters_.AddEntriesScanned(out.size());
   return out;
 }
 

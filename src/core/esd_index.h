@@ -141,6 +141,10 @@ class EsdIndex : public EsdQueryEngine {
   /// Engine selector key for this implementation.
   std::string_view EngineName() const override { return "treap"; }
 
+  /// Work counters: queries answered, H-list lower_bound searches, and
+  /// entries walked to build answers.
+  EngineCounters Counters() const override { return counters_.Snap(); }
+
   /// Invokes fn(c, list) for every list, ascending c.
   template <typename Fn>
   void ForEachList(Fn&& fn) const {
@@ -160,6 +164,7 @@ class EsdIndex : public EsdQueryEngine {
   std::vector<graph::EdgeId> free_ids_;
   std::vector<uint8_t> live_;  // by EdgeId
   uint64_t num_entries_ = 0;
+  EngineCounterBlock counters_;
 };
 
 }  // namespace esd::core

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/esd_index.h"
+#include "obs/trace.h"
 #include "util/flat_map.h"
 
 namespace esd::core {
@@ -32,6 +33,8 @@ uint32_t ScoreAt(std::span<const uint32_t> sizes, uint32_t c) {
 FrozenEsdIndex FrozenEsdIndex::FromEdgeSizes(
     std::vector<Edge> edges, std::vector<std::vector<uint32_t>> sizes_per_edge,
     std::vector<uint8_t> live) {
+  obs::PhaseSeries phases;
+  phases.Begin("build.slab_sort");
   FrozenEsdIndex out;
   const size_t n = edges.size();
   assert(sizes_per_edge.size() == n);
@@ -204,6 +207,7 @@ bool FrozenEsdIndex::Adopt(Parts parts, FrozenEsdIndex* out,
 }
 
 size_t FrozenEsdIndex::FindSlab(uint32_t tau) const {
+  counters_.AddSlabSearch();
   auto it = std::lower_bound(sizes_.begin(), sizes_.end(), tau);
   if (it == sizes_.end()) return kNoSlab;
   return static_cast<size_t>(it - sizes_.begin());
@@ -219,6 +223,7 @@ TopKResult FrozenEsdIndex::QueryAtSlab(size_t slab_index, uint32_t k,
                                        bool pad_with_zero_edges) const {
   TopKResult out;
   if (k == 0) return out;
+  counters_.AddQuery();
   std::span<const Entry> slab;
   if (slab_index != kNoSlab) slab = ListAt(slab_index);
   const size_t take = std::min<size_t>(k, slab.size());
@@ -235,6 +240,7 @@ TopKResult FrozenEsdIndex::QueryAtSlab(size_t slab_index, uint32_t k,
       }
     }
   }
+  counters_.AddEntriesScanned(out.size());
   return out;
 }
 
@@ -246,6 +252,7 @@ uint64_t FrozenEsdIndex::CountWithScoreAtLeast(uint32_t tau,
                                                uint32_t min_score) const {
   if (min_score == 0) return num_live_;
   if (tau == 0) return 0;
+  counters_.AddSlabSearch();
   auto it = std::lower_bound(sizes_.begin(), sizes_.end(), tau);
   if (it == sizes_.end()) return 0;
   std::span<const Entry> slab =
@@ -262,6 +269,7 @@ TopKResult FrozenEsdIndex::QueryWithScoreAtLeast(uint32_t tau,
                                                  size_t limit) const {
   TopKResult out;
   if (tau == 0 || min_score == 0) return out;
+  counters_.AddSlabSearch();
   auto it = std::lower_bound(sizes_.begin(), sizes_.end(), tau);
   if (it == sizes_.end()) return out;
   for (const Entry& entry : ListAt(static_cast<size_t>(it - sizes_.begin()))) {
@@ -269,6 +277,7 @@ TopKResult FrozenEsdIndex::QueryWithScoreAtLeast(uint32_t tau,
     if (limit > 0 && out.size() >= limit) break;
     out.push_back(ScoredEdge{edges_[entry.e], entry.score});
   }
+  counters_.AddEntriesScanned(out.size());
   return out;
 }
 

@@ -110,6 +110,10 @@ class FrozenEsdIndex final : public EsdQueryEngine {
   uint64_t MemoryBytes() const override;
   std::string_view EngineName() const override { return "frozen"; }
 
+  /// Work counters: queries answered, sizes_ binary searches (FindSlab,
+  /// including the batched path), and slab entries scanned.
+  EngineCounters Counters() const override { return counters_.Snap(); }
+
   // ---- Edge registry (read-only mirror of EsdIndex) ------------------------
 
   graph::Edge EdgeAt(graph::EdgeId e) const { return edges_[e]; }
@@ -156,6 +160,9 @@ class FrozenEsdIndex final : public EsdQueryEngine {
   std::vector<uint64_t> offsets_;
   std::vector<Entry> entries_;
   uint64_t num_live_ = 0;
+  /// Not part of the logical image: ignored by operator== and not
+  /// serialized (a loaded index starts at zero).
+  EngineCounterBlock counters_;
 };
 
 /// Converts the mutable treap-backed index into its frozen serving image.

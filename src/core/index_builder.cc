@@ -6,6 +6,7 @@
 #include "core/edge_dsu_arena.h"
 #include "core/ego_network.h"
 #include "graph/orientation.h"
+#include "obs/trace.h"
 
 namespace esd::core {
 
@@ -15,9 +16,13 @@ using util::KeyedDsu;
 
 EsdIndex BuildIndexBasic(const Graph& g) {
   std::vector<std::vector<uint32_t>> sizes(g.NumEdges());
-  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
-    const graph::Edge& uv = g.EdgeAt(e);
-    sizes[e] = EgoComponentSizes(g, uv.u, uv.v);
+  {
+    obs::PhaseSeries phases;
+    phases.Begin("build.ego_bfs");
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      const graph::Edge& uv = g.EdgeAt(e);
+      sizes[e] = EgoComponentSizes(g, uv.u, uv.v);
+    }
   }
   EsdIndex index;
   index.BulkLoad(g.Edges(), std::move(sizes));
@@ -26,9 +31,13 @@ EsdIndex BuildIndexBasic(const Graph& g) {
 
 EsdIndex BuildIndexBasicFast(const Graph& g) {
   std::vector<std::vector<uint32_t>> sizes(g.NumEdges());
-  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
-    const graph::Edge& uv = g.EdgeAt(e);
-    sizes[e] = EgoComponentSizesFast(g, uv.u, uv.v);
+  {
+    obs::PhaseSeries phases;
+    phases.Begin("build.ego_bfs");
+    for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+      const graph::Edge& uv = g.EdgeAt(e);
+      sizes[e] = EgoComponentSizesFast(g, uv.u, uv.v);
+    }
   }
   EsdIndex index;
   index.BulkLoad(g.Edges(), std::move(sizes));
@@ -43,13 +52,17 @@ namespace {
 std::vector<std::vector<uint32_t>> CliqueComponentSizes(
     const Graph& g, std::vector<KeyedDsu>* m_out) {
   const EdgeId m = g.NumEdges();
+  obs::PhaseSeries phases;
   // Lines 1-4 of Algorithm 3: one disjoint-set structure per edge, seeded
   // with the common neighborhood as singletons (arena-packed).
+  phases.Begin("build.dsu_init");
   EdgeDsuArena dsu(g);
 
   // Lines 5-15: each 4-clique {u, v, w1, w2} merges, in the structure of
   // every one of its six edges, the opposite pair of vertices.
+  phases.Begin("build.orientation");
   graph::DegreeOrderedDag dag(g);
+  phases.Begin("build.clique_enum");
   cliques::ForEach4Clique(dag, [&dsu](const cliques::FourClique& q) {
     dsu.Union(q.uv, q.w1, q.w2);
     dsu.Union(q.uw1, q.v, q.w2);
@@ -60,6 +73,7 @@ std::vector<std::vector<uint32_t>> CliqueComponentSizes(
   });
 
   // Lines 16-23 (first half): read component sizes off the disjoint sets.
+  phases.Begin("build.extract_sizes");
   std::vector<std::vector<uint32_t>> sizes(m);
   for (EdgeId e = 0; e < m; ++e) sizes[e] = dsu.ComponentSizes(e);
   if (m_out != nullptr) {

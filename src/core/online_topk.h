@@ -5,6 +5,7 @@
 
 #include "core/topk_result.h"
 #include "graph/graph.h"
+#include "obs/search_stats.h"
 
 namespace esd::core {
 
@@ -17,19 +18,10 @@ enum class UpperBoundRule {
   kCommonNeighbor,
 };
 
-/// Counters exposed for the pruning-power ablation bench.
-struct OnlineStats {
-  /// Number of exact BFS score computations (<= m; smaller is better).
-  uint64_t exact_computations = 0;
-  /// Total priority-queue pops.
-  uint64_t heap_pops = 0;
-  /// Edges whose upper bound was already 0 (base < tau): by the bound's
-  /// definition their score is provably 0, so they are certified without
-  /// an ego-network BFS. exact_computations + zero_bound_skips <= m.
-  uint64_t zero_bound_skips = 0;
-  /// Time spent computing the initial upper bounds, in seconds.
-  double bound_seconds = 0;
-};
+/// Counters exposed for the pruning-power ablation bench. Shared with the
+/// vertex baseline (baselines::VertexOnlineStats is the same type): both
+/// dequeue-twice searches report through obs::OnlineSearchStats.
+using OnlineStats = obs::OnlineSearchStats;
 
 /// The dequeue-twice online search framework (Algorithm 1): every edge is
 /// enqueued with its upper bound; the first time an edge is dequeued its

@@ -5,6 +5,7 @@
 #include "cliques/four_clique.h"
 #include "core/edge_dsu_arena.h"
 #include "graph/orientation.h"
+#include "obs/trace.h"
 #include "util/spinlock.h"
 #include "util/thread_pool.h"
 
@@ -23,11 +24,14 @@ std::vector<std::vector<uint32_t>> ParallelComponentSizes(
     const Graph& g, util::ThreadPool& pool, ParallelMode mode,
     std::vector<KeyedDsu>* m_out) {
   const EdgeId m = g.NumEdges();
+  obs::PhaseSeries phases;
 
   // Phase 1: disjoint-set initialization, parallel over edges.
+  phases.Begin("build.dsu_init");
   EdgeDsuArena dsu(g, &pool);
 
   // Phase 2: 4-clique enumeration.
+  phases.Begin("build.orientation");
   graph::DegreeOrderedDag dag(g);
   util::StripedLocks locks(4096);
   auto locked_union = [&](EdgeId e, VertexId a, VertexId b) {
@@ -42,6 +46,7 @@ std::vector<std::vector<uint32_t>> ParallelComponentSizes(
     locked_union(q.vw2, q.u, q.w1);
     locked_union(q.w1w2, q.u, q.v);
   };
+  phases.Begin("build.clique_enum");
   if (mode == ParallelMode::kEdgeParallel) {
     // The paper's choice: parallel over directed arcs, whose work
     // distribution is much flatter than per-vertex work.
@@ -60,6 +65,7 @@ std::vector<std::vector<uint32_t>> ParallelComponentSizes(
     }
     pool.ParallelForChunked(
         0, arcs.size(), 64, [&](uint64_t lo, uint64_t hi) {
+          ESD_TRACE_SPAN("build.clique_enum.chunk");
           cliques::FourCliqueScratch scratch;
           for (uint64_t i = lo; i < hi; ++i) {
             const Arc& arc = arcs[i];
@@ -71,6 +77,7 @@ std::vector<std::vector<uint32_t>> ParallelComponentSizes(
     // The "simple solution" the paper warns about: parallel over vertices.
     pool.ParallelForChunked(
         0, g.NumVertices(), 32, [&](uint64_t lo, uint64_t hi) {
+          ESD_TRACE_SPAN("build.clique_enum.chunk");
           cliques::FourCliqueScratch scratch;
           for (uint64_t u = lo; u < hi; ++u) {
             auto out = dag.OutNeighbors(static_cast<VertexId>(u));
@@ -86,8 +93,10 @@ std::vector<std::vector<uint32_t>> ParallelComponentSizes(
 
   // Phase 3: component-size extraction, parallel over edges. Arena slices
   // of different edges are disjoint, so no synchronization is needed.
+  phases.Begin("build.extract_sizes");
   std::vector<std::vector<uint32_t>> sizes(m);
   pool.ParallelForChunked(0, m, 512, [&](uint64_t lo, uint64_t hi) {
+    ESD_TRACE_SPAN("build.extract_sizes.chunk");
     for (uint64_t e = lo; e < hi; ++e) {
       sizes[e] = dsu.ComponentSizes(static_cast<EdgeId>(e));
     }

@@ -8,13 +8,17 @@
 #include "core/frozen_index.h"
 #include "core/index_builder.h"
 #include "core/naive_topk.h"
+#include "obs/metrics.h"
 
 namespace esd::core {
 
 TopKResult OnlineQueryEngine::Query(uint32_t k, uint32_t tau,
                                     bool pad_with_zero_edges) const {
   if (k == 0 || tau == 0) return {};
-  TopKResult out = OnlineTopK(graph_, k, tau, rule_);
+  OnlineStats stats;
+  TopKResult out = OnlineTopK(graph_, k, tau, rule_, &stats);
+  counters_.AddQuery();
+  counters_.AddOnlineStats(stats);
   if (!pad_with_zero_edges) {
     while (!out.empty() && out.back().score == 0) out.pop_back();
   }
@@ -85,6 +89,26 @@ std::unique_ptr<EsdQueryEngine> BuildQueryEngine(const graph::Graph& g,
     *error += ")";
   }
   return nullptr;
+}
+
+void ExportEngineCounters(const EsdQueryEngine& engine,
+                          obs::MetricRegistry* registry,
+                          std::string_view prefix) {
+  const EngineCounters c = engine.Counters();
+  const std::string p(prefix);
+  auto set = [&](const char* field, uint64_t v, const char* help) {
+    registry->GetGauge(p + field, help).Set(static_cast<double>(v));
+  };
+  set("queries", c.queries, "Query() calls answered by the engine");
+  set("slab_searches", c.slab_searches,
+      "H-list / slab binary searches run");
+  set("entries_scanned", c.entries_scanned,
+      "Index entries read to build answers");
+  set("heap_pops", c.heap_pops, "Online search priority-queue pops");
+  set("exact_computations", c.exact_computations,
+      "Online search exact ego-network BFS runs");
+  set("zero_bound_skips", c.zero_bound_skips,
+      "Online candidates certified by a zero upper bound");
 }
 
 }  // namespace esd::core

@@ -1,6 +1,7 @@
 #ifndef ESD_CORE_QUERY_ENGINE_H_
 #define ESD_CORE_QUERY_ENGINE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -12,7 +13,87 @@
 #include "core/topk_result.h"
 #include "graph/graph.h"
 
+namespace esd::obs {
+class MetricRegistry;
+}  // namespace esd::obs
+
 namespace esd::core {
+
+/// One read of an engine's lifetime work counters. Which fields move
+/// depends on the engine: the index engines drive slab_searches /
+/// entries_scanned, the online adapter drives heap_pops /
+/// exact_computations / zero_bound_skips. Fields an engine doesn't track
+/// stay 0.
+struct EngineCounters {
+  uint64_t queries = 0;            ///< Query() calls answered
+  uint64_t slab_searches = 0;      ///< H-list / slab binary searches run
+  uint64_t entries_scanned = 0;    ///< index entries read to build answers
+  uint64_t heap_pops = 0;          ///< online: priority-queue pops
+  uint64_t exact_computations = 0; ///< online: exact ego-network BFS runs
+  uint64_t zero_bound_skips = 0;   ///< online: candidates certified bound=0
+};
+
+/// The atomic home of EngineCounters inside an engine. Lives in otherwise
+/// const engines (recording from const query methods is the point), so
+/// every field is mutable-friendly relaxed-atomic; copy/move copy the
+/// current values, which keeps engines that rely on implicit copies/moves
+/// (FrozenEsdIndex into unique_ptr, EsdIndex returned by value) movable
+/// despite holding atomics.
+class EngineCounterBlock {
+ public:
+  EngineCounterBlock() = default;
+  EngineCounterBlock(const EngineCounterBlock& other) { CopyFrom(other); }
+  EngineCounterBlock& operator=(const EngineCounterBlock& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+
+  void AddQuery() const { queries_.fetch_add(1, std::memory_order_relaxed); }
+  void AddSlabSearch(uint64_t n = 1) const {
+    slab_searches_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddEntriesScanned(uint64_t n) const {
+    entries_scanned_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddOnlineStats(const OnlineStats& s) const {
+    heap_pops_.fetch_add(s.heap_pops, std::memory_order_relaxed);
+    exact_computations_.fetch_add(s.exact_computations,
+                                  std::memory_order_relaxed);
+    zero_bound_skips_.fetch_add(s.zero_bound_skips,
+                                std::memory_order_relaxed);
+  }
+
+  EngineCounters Snap() const {
+    EngineCounters c;
+    c.queries = queries_.load(std::memory_order_relaxed);
+    c.slab_searches = slab_searches_.load(std::memory_order_relaxed);
+    c.entries_scanned = entries_scanned_.load(std::memory_order_relaxed);
+    c.heap_pops = heap_pops_.load(std::memory_order_relaxed);
+    c.exact_computations =
+        exact_computations_.load(std::memory_order_relaxed);
+    c.zero_bound_skips = zero_bound_skips_.load(std::memory_order_relaxed);
+    return c;
+  }
+
+ private:
+  void CopyFrom(const EngineCounterBlock& other) {
+    const EngineCounters c = other.Snap();
+    queries_.store(c.queries, std::memory_order_relaxed);
+    slab_searches_.store(c.slab_searches, std::memory_order_relaxed);
+    entries_scanned_.store(c.entries_scanned, std::memory_order_relaxed);
+    heap_pops_.store(c.heap_pops, std::memory_order_relaxed);
+    exact_computations_.store(c.exact_computations,
+                              std::memory_order_relaxed);
+    zero_bound_skips_.store(c.zero_bound_skips, std::memory_order_relaxed);
+  }
+
+  mutable std::atomic<uint64_t> queries_{0};
+  mutable std::atomic<uint64_t> slab_searches_{0};
+  mutable std::atomic<uint64_t> entries_scanned_{0};
+  mutable std::atomic<uint64_t> heap_pops_{0};
+  mutable std::atomic<uint64_t> exact_computations_{0};
+  mutable std::atomic<uint64_t> zero_bound_skips_{0};
+};
 
 /// The serving-layer contract every top-k ESD engine implements.
 ///
@@ -72,6 +153,10 @@ class EsdQueryEngine {
   /// key used by the CLI/bench engine selectors and the JSON bench output.
   virtual std::string_view EngineName() const = 0;
 
+  /// Lifetime work counters (see EngineCounters). Engines that don't
+  /// instrument return all zeros. Safe concurrently with queries.
+  virtual EngineCounters Counters() const { return {}; }
+
  protected:
   EsdQueryEngine() = default;
   EsdQueryEngine(const EsdQueryEngine&) = default;
@@ -103,10 +188,16 @@ class OnlineQueryEngine final : public EsdQueryEngine {
     return rule_ == UpperBoundRule::kCommonNeighbor ? "online"
                                                     : "online-mindeg";
   }
+  /// Prune counters accumulated across Query() calls (heap_pops,
+  /// exact_computations, zero_bound_skips): the OnlineStats of every
+  /// dequeue-twice run, reachable through the engine interface so
+  /// esd_cli --engine online can print pruning power.
+  EngineCounters Counters() const override { return counters_.Snap(); }
 
  private:
   const graph::Graph& graph_;
   UpperBoundRule rule_;
+  EngineCounterBlock counters_;
 };
 
 /// Engine names accepted by BuildQueryEngine, in presentation order.
@@ -119,6 +210,15 @@ std::vector<std::string> QueryEngineNames();
 std::unique_ptr<EsdQueryEngine> BuildQueryEngine(const graph::Graph& g,
                                                  std::string_view name,
                                                  std::string* error);
+
+/// Publishes engine.Counters() as gauges `<prefix><field>` (default
+/// esd_engine_queries, esd_engine_heap_pops, ...) on `registry`, so a
+/// registry scrape (esd_server METRICS, esd_cli --metrics) carries the
+/// engine's work counters. Gauges, not counters: each call overwrites
+/// with the engine's current lifetime totals.
+void ExportEngineCounters(const EsdQueryEngine& engine,
+                          obs::MetricRegistry* registry,
+                          std::string_view prefix = "esd_engine_");
 
 }  // namespace esd::core
 

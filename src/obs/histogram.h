@@ -1,0 +1,134 @@
+#ifndef ESD_OBS_HISTOGRAM_H_
+#define ESD_OBS_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+
+namespace esd::obs {
+
+/// Lock-free log-scale latency histogram (HDR-style: power-of-two major
+/// buckets, 8 linear sub-buckets each, so any recorded value lands in a
+/// bucket within 12.5% of its true nanosecond latency). Record() is a
+/// single relaxed atomic increment, safe from any number of threads;
+/// Snap() reads a racy-but-consistent-enough snapshot for export, which is
+/// the usual contract for serving metrics.
+///
+/// Formerly serve/metrics.h's private histogram; now the registry-wide
+/// histogram type (obs::Histogram wraps it, serve::ServiceMetrics records
+/// through it).
+class LatencyHistogram {
+ public:
+  /// Percentiles and moments of one histogram, in microseconds. A snapshot
+  /// of an empty histogram is all zeros — never NaN (count == 0 guards
+  /// every division).
+  struct Snapshot {
+    uint64_t count = 0;
+    double p50_us = 0;
+    double p95_us = 0;
+    double p99_us = 0;
+    double max_us = 0;
+    double mean_us = 0;
+    /// Sum of all recorded values, in microseconds (Prometheus _sum).
+    double sum_us = 0;
+  };
+
+  /// Values above this saturate instead of indexing past the bucket array
+  /// or overflowing the uint64 cast (~146 years; nothing legitimate gets
+  /// close).
+  static constexpr uint64_t kSaturationNs = uint64_t{1} << 62;
+
+  void RecordNanos(uint64_t ns) {
+    ns = std::min(ns, kSaturationNs);
+    buckets_[BucketOf(ns)].fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+    uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+    while (ns > seen &&
+           !max_ns_.compare_exchange_weak(seen, ns,
+                                          std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Saturating: negative, NaN, and sub-nanosecond inputs record as 0;
+  /// values whose nanosecond image exceeds kSaturationNs (including +inf)
+  /// clamp to it rather than hitting the UB of an out-of-range
+  /// double->uint64 cast.
+  void RecordMicros(double us) {
+    if (!(us > 0)) {
+      RecordNanos(0);
+      return;
+    }
+    const double ns = us * 1e3;
+    RecordNanos(ns >= static_cast<double>(kSaturationNs)
+                    ? kSaturationNs
+                    : static_cast<uint64_t>(ns));
+  }
+
+  Snapshot Snap() const {
+    std::array<uint64_t, kBuckets> counts;
+    uint64_t total = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      counts[b] = buckets_[b].load(std::memory_order_relaxed);
+      total += counts[b];
+    }
+    Snapshot s;
+    s.count = total;
+    if (total == 0) return s;
+    s.p50_us = PercentileUs(counts, total, 0.50);
+    s.p95_us = PercentileUs(counts, total, 0.95);
+    s.p99_us = PercentileUs(counts, total, 0.99);
+    s.max_us =
+        static_cast<double>(max_ns_.load(std::memory_order_relaxed)) * 1e-3;
+    s.sum_us =
+        static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-3;
+    s.mean_us = s.sum_us / static_cast<double>(total);
+    return s;
+  }
+
+ private:
+  static constexpr int kSubBits = 3;
+  static constexpr size_t kSub = size_t{1} << kSubBits;  // 8 sub-buckets
+  // Largest bucket index is reached at ns = 2^64 - 1 (bit width 64):
+  // (64 - 1 - kSubBits + 1) * kSub + (kSub - 1) = 495.
+  static constexpr size_t kBuckets = (64 - kSubBits) * kSub + kSub;
+
+  static size_t BucketOf(uint64_t ns) {
+    if (ns < kSub) return static_cast<size_t>(ns);
+    const int shift = std::bit_width(ns) - 1 - kSubBits;
+    return static_cast<size_t>(shift + 1) * kSub +
+           static_cast<size_t>((ns >> shift) & (kSub - 1));
+  }
+
+  /// Representative latency of bucket `b` (its midpoint), in microseconds.
+  static double BucketMidUs(size_t b) {
+    if (b < kSub) return static_cast<double>(b) * 1e-3;
+    const int shift = static_cast<int>(b / kSub) - 1;
+    const double lo = std::ldexp(static_cast<double>(kSub + b % kSub), shift);
+    const double width = std::ldexp(1.0, shift);
+    return (lo + width * 0.5) * 1e-3;
+  }
+
+  static double PercentileUs(const std::array<uint64_t, kBuckets>& counts,
+                             uint64_t total, double p) {
+    const uint64_t rank =
+        std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(
+                                  p * static_cast<double>(total))));
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      seen += counts[b];
+      if (seen >= rank) return BucketMidUs(b);
+    }
+    return BucketMidUs(kBuckets - 1);
+  }
+
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> sum_ns_{0};
+  std::atomic<uint64_t> max_ns_{0};
+};
+
+}  // namespace esd::obs
+
+#endif  // ESD_OBS_HISTOGRAM_H_

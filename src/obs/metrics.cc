@@ -1,0 +1,231 @@
+#include "obs/metrics.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+
+namespace esd::obs {
+
+namespace {
+
+// Process-wide sinks for type-mismatched lookups: writes land somewhere
+// harmless instead of corrupting the metric registered under the name.
+Counter& DummyCounter() {
+  static Counter c;
+  return c;
+}
+Gauge& DummyGauge() {
+  static Gauge g;
+  return g;
+}
+Histogram& DummyHistogram() {
+  static Histogram h;
+  return h;
+}
+
+void AppendDouble(std::string* out, double v) {
+  if (!std::isfinite(v)) v = 0;  // exposition stays parseable
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  out->append(buf);
+}
+
+void AppendUint(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out->append(buf);
+}
+
+// HELP text: backslash and newline must be escaped per the exposition
+// format; everything else passes through.
+void AppendHelpEscaped(std::string* out, const std::string& help) {
+  for (char c : help) {
+    if (c == '\\') {
+      out->append("\\\\");
+    } else if (c == '\n') {
+      out->append("\\n");
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string MetricRegistry::SanitizeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  // push_back instead of assigning a literal: GCC 12's -Wrestrict misfires
+  // on the inlined char* assignment after the loop above.
+  if (out.empty()) out.push_back('_');
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();  // never destroyed
+  return *registry;
+}
+
+MetricRegistry::Slot& MetricRegistry::GetSlot(std::string_view name,
+                                              std::string_view help,
+                                              Type type,
+                                              bool* type_mismatch) {
+  std::string key = SanitizeName(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(key);
+  if (it == slots_.end()) {
+    Slot slot;
+    slot.type = type;
+    slot.help = std::string(help);
+    switch (type) {
+      case Type::kCounter:
+        slot.counter = std::make_unique<Counter>();
+        break;
+      case Type::kGauge:
+        slot.gauge = std::make_unique<Gauge>();
+        break;
+      case Type::kHistogram:
+        slot.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = slots_.emplace(std::move(key), std::move(slot)).first;
+  }
+  *type_mismatch = it->second.type != type;
+  return it->second;
+}
+
+Counter& MetricRegistry::GetCounter(std::string_view name,
+                                    std::string_view help) {
+  bool mismatch = false;
+  Slot& slot = GetSlot(name, help, Type::kCounter, &mismatch);
+  return mismatch ? DummyCounter() : *slot.counter;
+}
+
+Gauge& MetricRegistry::GetGauge(std::string_view name, std::string_view help) {
+  bool mismatch = false;
+  Slot& slot = GetSlot(name, help, Type::kGauge, &mismatch);
+  return mismatch ? DummyGauge() : *slot.gauge;
+}
+
+Histogram& MetricRegistry::GetHistogram(std::string_view name,
+                                        std::string_view help) {
+  bool mismatch = false;
+  Slot& slot = GetSlot(name, help, Type::kHistogram, &mismatch);
+  return mismatch ? DummyHistogram() : *slot.histogram;
+}
+
+uint64_t MetricRegistry::CounterValue(std::string_view name) const {
+  std::string key = SanitizeName(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(key);
+  if (it == slots_.end() || it->second.type != Type::kCounter) return 0;
+  return it->second.counter->Value();
+}
+
+double MetricRegistry::GaugeValue(std::string_view name) const {
+  std::string key = SanitizeName(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(key);
+  if (it == slots_.end() || it->second.type != Type::kGauge) return 0;
+  return it->second.gauge->Value();
+}
+
+size_t MetricRegistry::NumMetrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+std::string MetricRegistry::PrometheusText() const {
+  std::string out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, slot] : slots_) {
+    if (!slot.help.empty()) {
+      out.append("# HELP ").append(name).push_back(' ');
+      AppendHelpEscaped(&out, slot.help);
+      out.push_back('\n');
+    }
+    out.append("# TYPE ").append(name).push_back(' ');
+    switch (slot.type) {
+      case Type::kCounter: {
+        out.append("counter\n").append(name).push_back(' ');
+        AppendUint(&out, slot.counter->Value());
+        out.push_back('\n');
+        break;
+      }
+      case Type::kGauge: {
+        out.append("gauge\n").append(name).push_back(' ');
+        AppendDouble(&out, slot.gauge->Value());
+        out.push_back('\n');
+        break;
+      }
+      case Type::kHistogram: {
+        out.append("summary\n");
+        const LatencyHistogram::Snapshot s = slot.histogram->Snap();
+        const struct {
+          const char* q;
+          double v;
+        } quantiles[] = {
+            {"0.5", s.p50_us}, {"0.95", s.p95_us}, {"0.99", s.p99_us}};
+        for (const auto& q : quantiles) {
+          out.append(name).append("{quantile=\"").append(q.q).append("\"} ");
+          AppendDouble(&out, q.v);
+          out.push_back('\n');
+        }
+        out.append(name).append("_sum ");
+        AppendDouble(&out, s.sum_us);
+        out.push_back('\n');
+        out.append(name).append("_count ");
+        AppendUint(&out, s.count);
+        out.push_back('\n');
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricRegistry::JsonFields() const {
+  std::string out;
+  std::lock_guard<std::mutex> lock(mu_);
+  bool first = true;
+  auto key = [&](const std::string& name, const char* suffix = "") {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out.append(name).append(suffix);
+    out.append("\":");
+  };
+  for (const auto& [name, slot] : slots_) {
+    switch (slot.type) {
+      case Type::kCounter:
+        key(name);
+        AppendUint(&out, slot.counter->Value());
+        break;
+      case Type::kGauge:
+        key(name);
+        AppendDouble(&out, slot.gauge->Value());
+        break;
+      case Type::kHistogram: {
+        const LatencyHistogram::Snapshot s = slot.histogram->Snap();
+        key(name, "_p50");
+        AppendDouble(&out, s.p50_us);
+        key(name, "_p95");
+        AppendDouble(&out, s.p95_us);
+        key(name, "_p99");
+        AppendDouble(&out, s.p99_us);
+        key(name, "_count");
+        AppendUint(&out, s.count);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace esd::obs

@@ -1,0 +1,119 @@
+#ifndef ESD_OBS_METRICS_H_
+#define ESD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "obs/histogram.h"
+
+namespace esd::obs {
+
+/// Monotonic counter. Inc() is one relaxed atomic add; readers see a
+/// racy-but-monotonic value — the standard serving-metrics contract.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins double gauge (Set) that also supports accumulation
+/// (Add, a CAS loop — gauges are written from cold paths only).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double d) {
+    double seen = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(seen, seen + d,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Registry-hosted wrapper of the log-scale LatencyHistogram: exported as
+/// a Prometheus summary (p50/p95/p99 quantiles + _sum + _count).
+class Histogram {
+ public:
+  void RecordNanos(uint64_t ns) { h_.RecordNanos(ns); }
+  void RecordMicros(double us) { h_.RecordMicros(us); }
+  LatencyHistogram::Snapshot Snap() const { return h_.Snap(); }
+
+ private:
+  LatencyHistogram h_;
+};
+
+/// Process-wide (or locally instantiated) home for named metrics.
+///
+/// GetCounter/GetGauge/GetHistogram register on first use and return a
+/// reference that stays valid for the registry's lifetime, so hot paths
+/// resolve a metric once (e.g. into a function-local static) and then
+/// touch only its atomics. Registration takes a mutex; recording never
+/// does. Names are sanitized to the Prometheus charset
+/// ([a-zA-Z0-9_:], leading digit prefixed) at registration.
+///
+/// Exporters:
+///   * PrometheusText() — text exposition format (counters, gauges, and
+///     histograms as summaries), sorted by name, parseable by any
+///     Prometheus scraper. Served by esd_server's METRICS command.
+///   * JsonFields()     — the bench harness's key/value dialect (no
+///     surrounding braces), appendable to a '{"bench":...' line.
+///
+/// Asking for an existing name with a different type is a programming
+/// error; release builds return a process-wide dummy metric (recorded
+/// values go nowhere) instead of corrupting the registered one.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// The process-wide registry every subsystem instruments by default.
+  static MetricRegistry& Global();
+
+  Counter& GetCounter(std::string_view name, std::string_view help = "");
+  Gauge& GetGauge(std::string_view name, std::string_view help = "");
+  Histogram& GetHistogram(std::string_view name, std::string_view help = "");
+
+  /// Point reads by (sanitized) name; 0 when absent or of another type.
+  uint64_t CounterValue(std::string_view name) const;
+  double GaugeValue(std::string_view name) const;
+
+  size_t NumMetrics() const;
+
+  std::string PrometheusText() const;
+  std::string JsonFields() const;
+
+  /// Prometheus metric-name sanitization applied at registration.
+  static std::string SanitizeName(std::string_view name);
+
+ private:
+  enum class Type { kCounter, kGauge, kHistogram };
+  struct Slot {
+    Type type;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Slot& GetSlot(std::string_view name, std::string_view help, Type type,
+                bool* type_mismatch);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Slot, std::less<>> slots_;
+};
+
+}  // namespace esd::obs
+
+#endif  // ESD_OBS_METRICS_H_

@@ -1,0 +1,30 @@
+#ifndef ESD_OBS_SEARCH_STATS_H_
+#define ESD_OBS_SEARCH_STATS_H_
+
+#include <cstdint>
+
+namespace esd::obs {
+
+/// Counters of one dequeue-twice online search (Algorithm 1 and its vertex
+/// analogue). The edge search (core::OnlineTopK) and the vertex baseline
+/// (baselines::OnlineVertexTopK) both report through this one struct, so
+/// the pruning-power benches and the metric exporters use a single set of
+/// field names for either problem.
+struct OnlineSearchStats {
+  /// Number of exact BFS score computations (<= #candidates; smaller is
+  /// better — the pruning-power measure of Fig. 5).
+  uint64_t exact_computations = 0;
+  /// Total priority-queue pops.
+  uint64_t heap_pops = 0;
+  /// Candidates whose upper bound was already 0 (base < tau): by the
+  /// bound's definition their score is provably 0, so they are certified
+  /// without an ego-network BFS. exact_computations + zero_bound_skips is
+  /// at most the candidate count.
+  uint64_t zero_bound_skips = 0;
+  /// Time spent computing the initial upper bounds, in seconds.
+  double bound_seconds = 0;
+};
+
+}  // namespace esd::obs
+
+#endif  // ESD_OBS_SEARCH_STATS_H_

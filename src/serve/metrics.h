@@ -1,109 +1,19 @@
 #ifndef ESD_SERVE_METRICS_H_
 #define ESD_SERVE_METRICS_H_
 
-#include <algorithm>
-#include <array>
-#include <atomic>
-#include <bit>
-#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
 
 namespace esd::serve {
 
-/// Lock-free log-scale latency histogram (HDR-style: power-of-two major
-/// buckets, 8 linear sub-buckets each, so any recorded value lands in a
-/// bucket within 12.5% of its true nanosecond latency). Record() is a
-/// single relaxed atomic increment, safe from any number of threads;
-/// Snap() reads a racy-but-consistent-enough snapshot for export, which is
-/// the usual contract for serving metrics.
-class LatencyHistogram {
- public:
-  /// Percentiles and moments of one histogram, in microseconds.
-  struct Snapshot {
-    uint64_t count = 0;
-    double p50_us = 0;
-    double p95_us = 0;
-    double p99_us = 0;
-    double max_us = 0;
-    double mean_us = 0;
-  };
-
-  void RecordNanos(uint64_t ns) {
-    buckets_[BucketOf(ns)].fetch_add(1, std::memory_order_relaxed);
-    sum_ns_.fetch_add(ns, std::memory_order_relaxed);
-    uint64_t seen = max_ns_.load(std::memory_order_relaxed);
-    while (ns > seen &&
-           !max_ns_.compare_exchange_weak(seen, ns,
-                                          std::memory_order_relaxed)) {
-    }
-  }
-  void RecordMicros(double us) {
-    RecordNanos(us <= 0 ? 0 : static_cast<uint64_t>(us * 1e3));
-  }
-
-  Snapshot Snap() const {
-    std::array<uint64_t, kBuckets> counts;
-    uint64_t total = 0;
-    for (size_t b = 0; b < kBuckets; ++b) {
-      counts[b] = buckets_[b].load(std::memory_order_relaxed);
-      total += counts[b];
-    }
-    Snapshot s;
-    s.count = total;
-    if (total == 0) return s;
-    s.p50_us = PercentileUs(counts, total, 0.50);
-    s.p95_us = PercentileUs(counts, total, 0.95);
-    s.p99_us = PercentileUs(counts, total, 0.99);
-    s.max_us =
-        static_cast<double>(max_ns_.load(std::memory_order_relaxed)) * 1e-3;
-    s.mean_us =
-        static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-3 /
-        static_cast<double>(total);
-    return s;
-  }
-
- private:
-  static constexpr int kSubBits = 3;
-  static constexpr size_t kSub = size_t{1} << kSubBits;  // 8 sub-buckets
-  // Largest bucket index is reached at ns = 2^64 - 1 (bit width 64):
-  // (64 - 1 - kSubBits + 1) * kSub + (kSub - 1) = 495.
-  static constexpr size_t kBuckets = (64 - kSubBits) * kSub + kSub;
-
-  static size_t BucketOf(uint64_t ns) {
-    if (ns < kSub) return static_cast<size_t>(ns);
-    const int shift = std::bit_width(ns) - 1 - kSubBits;
-    return static_cast<size_t>(shift + 1) * kSub +
-           static_cast<size_t>((ns >> shift) & (kSub - 1));
-  }
-
-  /// Representative latency of bucket `b` (its midpoint), in microseconds.
-  static double BucketMidUs(size_t b) {
-    if (b < kSub) return static_cast<double>(b) * 1e-3;
-    const int shift = static_cast<int>(b / kSub) - 1;
-    const double lo = std::ldexp(static_cast<double>(kSub + b % kSub), shift);
-    const double width = std::ldexp(1.0, shift);
-    return (lo + width * 0.5) * 1e-3;
-  }
-
-  static double PercentileUs(const std::array<uint64_t, kBuckets>& counts,
-                             uint64_t total, double p) {
-    const uint64_t rank =
-        std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(
-                                  p * static_cast<double>(total))));
-    uint64_t seen = 0;
-    for (size_t b = 0; b < kBuckets; ++b) {
-      seen += counts[b];
-      if (seen >= rank) return BucketMidUs(b);
-    }
-    return BucketMidUs(kBuckets - 1);
-  }
-
-  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
-  std::atomic<uint64_t> sum_ns_{0};
-  std::atomic<uint64_t> max_ns_{0};
-};
+/// The HDR-style histogram now lives in obs/ (shared by the registry);
+/// this alias keeps the serve-layer spelling that predates the move.
+using LatencyHistogram = obs::LatencyHistogram;
 
 /// One coherent read of a service's counters and latency distributions.
 struct MetricsSnapshot {
@@ -113,43 +23,85 @@ struct MetricsSnapshot {
   uint64_t deadline_missed = 0;  ///< expired in the queue, never executed
   uint64_t batches = 0;          ///< worker wakeups that drained >= 1 request
   uint64_t slab_searches_saved = 0;  ///< tau-batching: binary searches elided
+  uint64_t queue_depth = 0;      ///< requests waiting at snapshot time
   LatencyHistogram::Snapshot queue_wait;  ///< admission -> worker pickup
   LatencyHistogram::Snapshot execute;     ///< engine time per served query
   LatencyHistogram::Snapshot total;       ///< admission -> response ready
 };
 
-/// The lock-free instrumentation an EsdQueryService carries: monotonically
-/// increasing counters plus per-stage latency histograms. All recorders are
-/// wait-free relaxed atomics; exporters may be called concurrently.
+/// The instrumentation an EsdQueryService carries, hosted on an
+/// obs::MetricRegistry under esd_serve_* names so a scrape of the registry
+/// (esd_server's METRICS command) sees the serving counters without a
+/// second bookkeeping path. Pass a registry to share (typically
+/// &obs::MetricRegistry::Global()); the default constructor keeps a
+/// private embedded registry, which load benches rely on so that each
+/// sweep configuration starts from zero. All recorders are wait-free
+/// relaxed atomics; Snap() and exporters may run concurrently.
 class ServiceMetrics {
  public:
-  void RecordAccepted() { accepted_.fetch_add(1, std::memory_order_relaxed); }
-  void RecordRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  explicit ServiceMetrics(obs::MetricRegistry* registry = nullptr)
+      : owned_(registry == nullptr ? std::make_unique<obs::MetricRegistry>()
+                                   : nullptr),
+        reg_(registry != nullptr ? *registry : *owned_),
+        accepted_(reg_.GetCounter("esd_serve_accepted_total",
+                                  "Requests admitted to the queue")),
+        rejected_(reg_.GetCounter("esd_serve_rejected_total",
+                                  "Requests bounced by bounded admission")),
+        completed_(reg_.GetCounter("esd_serve_completed_total",
+                                   "Requests served with an engine answer")),
+        deadline_missed_(
+            reg_.GetCounter("esd_serve_deadline_missed_total",
+                            "Requests expired in the queue, never executed")),
+        batches_(reg_.GetCounter("esd_serve_batches_total",
+                                 "Worker wakeups that drained >= 1 request")),
+        slab_searches_saved_(
+            reg_.GetCounter("esd_serve_slab_searches_saved_total",
+                            "Slab binary searches elided by tau-batching")),
+        queue_depth_(reg_.GetGauge("esd_serve_queue_depth",
+                                   "Requests waiting in the queue")),
+        queue_wait_(reg_.GetHistogram("esd_serve_queue_wait_us",
+                                      "Admission to worker pickup, us")),
+        execute_(reg_.GetHistogram("esd_serve_execute_us",
+                                   "Engine time per served query, us")),
+        total_(reg_.GetHistogram("esd_serve_total_us",
+                                 "Admission to response ready, us")) {}
+
+  ServiceMetrics(const ServiceMetrics&) = delete;
+  ServiceMetrics& operator=(const ServiceMetrics&) = delete;
+
+  /// The registry these metrics live on (the shared one, or the embedded
+  /// private one when default-constructed).
+  obs::MetricRegistry& registry() { return reg_; }
+
+  void RecordAccepted() { accepted_.Inc(); }
+  void RecordRejected() { rejected_.Inc(); }
   void RecordBatch(size_t distinct_taus, size_t batched_queries) {
-    batches_.fetch_add(1, std::memory_order_relaxed);
-    slab_searches_saved_.fetch_add(batched_queries - distinct_taus,
-                                   std::memory_order_relaxed);
+    batches_.Inc();
+    slab_searches_saved_.Inc(batched_queries - distinct_taus);
   }
   void RecordDeadlineMissed(double queue_us) {
-    deadline_missed_.fetch_add(1, std::memory_order_relaxed);
+    deadline_missed_.Inc();
     queue_wait_.RecordMicros(queue_us);
   }
   void RecordCompleted(double queue_us, double exec_us) {
-    completed_.fetch_add(1, std::memory_order_relaxed);
+    completed_.Inc();
     queue_wait_.RecordMicros(queue_us);
     execute_.RecordMicros(exec_us);
     total_.RecordMicros(queue_us + exec_us);
   }
+  void SetQueueDepth(size_t depth) {
+    queue_depth_.Set(static_cast<double>(depth));
+  }
 
   MetricsSnapshot Snap() const {
     MetricsSnapshot s;
-    s.accepted = accepted_.load(std::memory_order_relaxed);
-    s.rejected = rejected_.load(std::memory_order_relaxed);
-    s.completed = completed_.load(std::memory_order_relaxed);
-    s.deadline_missed = deadline_missed_.load(std::memory_order_relaxed);
-    s.batches = batches_.load(std::memory_order_relaxed);
-    s.slab_searches_saved =
-        slab_searches_saved_.load(std::memory_order_relaxed);
+    s.accepted = accepted_.Value();
+    s.rejected = rejected_.Value();
+    s.completed = completed_.Value();
+    s.deadline_missed = deadline_missed_.Value();
+    s.batches = batches_.Value();
+    s.slab_searches_saved = slab_searches_saved_.Value();
+    s.queue_depth = static_cast<uint64_t>(queue_depth_.Value());
     s.queue_wait = queue_wait_.Snap();
     s.execute = execute_.Snap();
     s.total = total_.Snap();
@@ -157,15 +109,18 @@ class ServiceMetrics {
   }
 
  private:
-  std::atomic<uint64_t> accepted_{0};
-  std::atomic<uint64_t> rejected_{0};
-  std::atomic<uint64_t> completed_{0};
-  std::atomic<uint64_t> deadline_missed_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> slab_searches_saved_{0};
-  LatencyHistogram queue_wait_;
-  LatencyHistogram execute_;
-  LatencyHistogram total_;
+  std::unique_ptr<obs::MetricRegistry> owned_;
+  obs::MetricRegistry& reg_;
+  obs::Counter& accepted_;
+  obs::Counter& rejected_;
+  obs::Counter& completed_;
+  obs::Counter& deadline_missed_;
+  obs::Counter& batches_;
+  obs::Counter& slab_searches_saved_;
+  obs::Gauge& queue_depth_;
+  obs::Histogram& queue_wait_;
+  obs::Histogram& execute_;
+  obs::Histogram& total_;
 };
 
 /// Extra key/value fields (no surrounding braces) in the machine-readable

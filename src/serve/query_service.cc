@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace esd::serve {
@@ -27,6 +28,7 @@ EsdQueryService::EsdQueryService(const core::EsdQueryEngine& engine,
                        : options.num_threads),
       max_queue_(std::max<size_t>(1, options.max_queue)),
       max_batch_(std::max<size_t>(1, options.max_batch)),
+      metrics_(options.registry),
       pool_(num_threads_) {
   if (!options.start_paused) Start();
 }
@@ -56,6 +58,7 @@ std::future<QueryResponse> EsdQueryService::Submit(
   std::future<QueryResponse> future = p.promise.get_future();
 
   ResponseStatus bounce = ResponseStatus::kOk;
+  size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) {
@@ -65,7 +68,9 @@ std::future<QueryResponse> EsdQueryService::Submit(
     } else {
       queue_.push_back(std::move(p));
     }
+    depth = queue_.size();
   }
+  metrics_.SetQueueDepth(depth);
   if (bounce != ResponseStatus::kOk) {
     metrics_.RecordRejected();
     QueryResponse response;
@@ -107,6 +112,7 @@ void EsdQueryService::Stop() {
 void EsdQueryService::WorkerLoop() {
   while (true) {
     std::vector<Pending> batch;
+    size_t depth = 0;
     {
       std::unique_lock<std::mutex> lock(mu_);
       queue_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -117,14 +123,17 @@ void EsdQueryService::WorkerLoop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      depth = queue_.size();
       // More work may remain for the other workers.
       if (!queue_.empty()) queue_ready_.notify_one();
     }
+    metrics_.SetQueueDepth(depth);
     ServeBatch(std::move(batch));
   }
 }
 
 void EsdQueryService::ServeBatch(std::vector<Pending> batch) {
+  ESD_TRACE_SPAN("serve.batch");
   // Group by tau (stable: FIFO preserved within a tau) so the frozen
   // engine's sizes_ binary search runs once per distinct tau in the batch.
   std::stable_sort(batch.begin(), batch.end(),

@@ -81,6 +81,11 @@ class EsdQueryService {
     /// queue (and admission/deadlines apply) until Start(). Lets tests
     /// stage a deterministic backlog.
     bool start_paused = false;
+    /// Registry the service's esd_serve_* metrics live on. Null (default)
+    /// keeps a private embedded registry — load benches rely on starting
+    /// from zero. esd_server passes &obs::MetricRegistry::Global() so the
+    /// METRICS command scrapes serving metrics alongside everything else.
+    obs::MetricRegistry* registry = nullptr;
   };
 
   explicit EsdQueryService(const core::EsdQueryEngine& engine);

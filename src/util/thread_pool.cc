@@ -1,6 +1,9 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/trace.h"
 
 namespace esd::util {
 
@@ -13,7 +16,13 @@ ThreadPool::ThreadPool(unsigned num_threads)
     : num_threads_(std::max(1u, num_threads)) {
   workers_.reserve(num_threads_ - 1);
   for (unsigned i = 0; i + 1 < num_threads_; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      // Names the worker's track in exported Chrome traces (no-op stub
+      // under ESD_OBS=OFF). The calling thread stays track 0/"main".
+      obs::Tracer::Global().SetCurrentThreadName("esd-pool-" +
+                                                 std::to_string(i + 1));
+      WorkerLoop();
+    });
   }
 }
 
