@@ -2,9 +2,14 @@
 // FrozenEsdIndex with a Zipfian (tau, k) mix, in two modes:
 //
 //   closed loop — C client threads each submit-and-wait in a tight loop
-//                 (throughput-bound; sweeps the service worker count), and
+//                 (throughput-bound; sweeps the service worker count),
 //   open loop   — one submitter paces requests at a fixed arrival rate with
-//                 per-request deadlines (latency/shedding under load).
+//                 per-request deadlines (latency/shedding under load), and
+//   live mixed  — same closed-loop readers, but the engine is a LiveEsdIndex
+//                 with a background writer streaming WAL-durable updates at
+//                 ESD_WRITE_RATE updates/s (default 2000, ~70% inserts);
+//                 reports read tails plus snapshot staleness (seq lag and
+//                 epoch age) while epochs hot-swap under the readers.
 //
 // Reports throughput plus p50/p95/p99 end-to-end latency and the per-stage
 // (queue wait vs execute) tails from the serve metrics layer, as human
@@ -15,6 +20,8 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <future>
 #include <string>
 #include <thread>
@@ -23,6 +30,7 @@
 #include "bench/bench_common.h"
 #include "core/frozen_index.h"
 #include "core/index_builder.h"
+#include "live/live_index.h"
 #include "serve/metrics.h"
 #include "serve/query_service.h"
 #include "util/rng.h"
@@ -168,6 +176,133 @@ double RunOpenLoop(const FrozenEsdIndex& frozen, const Workload& mix,
   return static_cast<double>(total) / wall_s;
 }
 
+/// Staleness and write-side tallies of one live-mixed run.
+struct LiveMixedResult {
+  double qps = 0;
+  double write_rate_achieved = 0;
+  uint64_t updates_applied = 0;
+  uint64_t epochs = 0;
+  uint64_t lag_max = 0;
+  double lag_mean = 0;
+  double age_max_s = 0;
+  MetricsSnapshot snap;
+  double wall_ms = 0;
+};
+
+/// Live mixed: `clients` closed-loop readers against a LiveEsdIndex while a
+/// background writer streams batches of 16 WAL-durable updates (one fsync
+/// per batch) paced at `write_rate` updates/s. The writer samples snapshot
+/// staleness (applied_seq minus the published epoch's watermark, and the
+/// epoch's age) after every batch.
+bool RunLiveMixed(const esd::graph::Graph& g, const Workload& mix,
+                  unsigned workers, unsigned clients, uint64_t total_reads,
+                  double write_rate, LiveMixedResult* out) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path dir = fs::temp_directory_path() / "esd_serve_load_live";
+  fs::remove_all(dir, ec);
+  fs::create_directories(dir, ec);
+
+  esd::live::LiveOptions lopts;
+  lopts.wal_path = (dir / "wal.bin").string();
+  lopts.snapshot_path = (dir / "snapshot.bin").string();
+  lopts.refreeze_every = 256;
+  std::string error;
+  std::unique_ptr<esd::live::LiveEsdIndex> live =
+      esd::live::LiveEsdIndex::Open(g, lopts, &error);
+  if (live == nullptr) {
+    std::fprintf(stderr, "live index open failed: %s\n", error.c_str());
+    return false;
+  }
+
+  EsdQueryService::Options opts;
+  opts.num_threads = workers;
+  opts.max_queue = 1 << 15;
+  EsdQueryService service(live->EngineProvider(), opts);
+
+  std::atomic<int64_t> remaining{static_cast<int64_t>(total_reads)};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> writer_failed{false};
+  // Readers keep serving (past total_reads if needed) until the writer has
+  // streamed enough for at least 3 epoch swaps, so the staleness numbers
+  // always reflect hot-swapping, not one static boot epoch.
+  const uint64_t min_updates = 3 * lopts.refreeze_every + 64;
+  std::atomic<uint64_t> updates_sent{0};
+  esd::util::Timer wall;
+
+  std::thread writer([&] {
+    esd::util::Rng rng(0xF00D);
+    const uint64_t n = g.NumVertices();
+    constexpr size_t kBatch = 16;
+    std::vector<esd::live::LiveUpdate> batch(kBatch);
+    uint64_t sent = 0, lag_sum = 0, samples = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      for (esd::live::LiveUpdate& up : batch) {
+        up.kind = rng.NextBool(0.7) ? esd::live::UpdateKind::kInsert
+                                    : esd::live::UpdateKind::kDelete;
+        up.u = static_cast<esd::graph::VertexId>(rng.NextBounded(n));
+        up.v = static_cast<esd::graph::VertexId>(rng.NextBounded(n));
+        if (up.u == up.v) up.v = (up.v + 1) % n;
+      }
+      std::string werr;
+      if (live->ApplyBatch(batch, &werr) != batch.size()) {
+        std::fprintf(stderr, "live writer failed: %s\n", werr.c_str());
+        writer_failed.store(true);
+        return;
+      }
+      sent += kBatch;
+      updates_sent.store(sent, std::memory_order_relaxed);
+      const esd::live::LiveStats stats = live->Stats();
+      out->lag_max = std::max(out->lag_max, stats.snapshot_lag);
+      out->age_max_s = std::max(out->age_max_s, stats.snapshot_age_s);
+      lag_sum += stats.snapshot_lag;
+      ++samples;
+      const double target = static_cast<double>(sent) / write_rate;
+      const double now = wall.ElapsedSeconds();
+      if (target > now) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(target - now));
+      }
+    }
+    out->updates_applied = sent;
+    out->lag_mean =
+        samples > 0 ? static_cast<double>(lag_sum) / samples : 0.0;
+  });
+
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (unsigned c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      esd::util::Rng rng(0x11FE + c);
+      while (true) {
+        const bool reads_left =
+            remaining.fetch_sub(1, std::memory_order_relaxed) > 0;
+        const bool writer_pending =
+            updates_sent.load(std::memory_order_relaxed) < min_updates &&
+            !writer_failed.load(std::memory_order_relaxed);
+        if (!reads_left && !writer_pending) break;
+        (void)service.Query(mix.Draw(rng));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s = wall.ElapsedSeconds();
+  stop.store(true);
+  writer.join();
+  service.Stop();
+
+  const esd::live::LiveStats stats = live->Stats();
+  out->epochs = stats.refreezes;
+  out->write_rate_achieved =
+      wall_s > 0 ? static_cast<double>(out->updates_applied) / wall_s : 0.0;
+  out->snap = service.metrics().Snap();
+  out->wall_ms = wall_s * 1e3;
+  out->qps = wall_s > 0 ? static_cast<double>(out->snap.completed) / wall_s
+                        : 0.0;
+  fs::remove_all(dir, ec);
+  return !writer_failed.load();
+}
+
 }  // namespace
 
 int main() {
@@ -218,6 +353,45 @@ int main() {
     PrintRow("open", hw, 1, qps, snap);
     EmitServeJson(d.name, "open-loop", wall_ms, frozen.MemoryBytes(), snap,
                   qps);
+  }
+
+  // Live mixed: readers against a hot-swapping LiveEsdIndex while a
+  // background writer streams WAL-durable updates.
+  {
+    double write_rate = 2000.0;
+    if (const char* env = std::getenv("ESD_WRITE_RATE")) {
+      const double v = std::atof(env);
+      if (v > 0) write_rate = v;
+    }
+    const uint64_t live_reads = static_cast<uint64_t>(10000 * scale);
+    const unsigned workers = std::max(2u, hw / 2);
+    const unsigned clients = 2 * workers;
+    LiveMixedResult live;
+    if (RunLiveMixed(d.graph, mix, workers, clients, live_reads, write_rate,
+                     &live)) {
+      PrintRow("live-mixed", workers, clients, live.qps, live.snap);
+      std::printf(
+          "  writer: %llu updates @ %.0f/s (target %.0f/s), epochs %llu, "
+          "staleness lag mean/max %.1f/%llu updates, epoch age max %.3f s\n",
+          static_cast<unsigned long long>(live.updates_applied),
+          live.write_rate_achieved, write_rate,
+          static_cast<unsigned long long>(live.epochs), live.lag_mean,
+          static_cast<unsigned long long>(live.lag_max), live.age_max_s);
+      std::printf(
+          "{\"bench\":\"serve_load\",\"engine\":\"live\",\"dataset\":\"%s\","
+          "\"op\":\"live-mixed\",\"wall_ms\":%.6f,\"qps\":%.1f,%s,"
+          "\"write_rate\":%.1f,\"updates\":%llu,\"epochs\":%llu,"
+          "\"lag_mean\":%.2f,\"lag_max\":%llu,\"age_max_s\":%.4f}\n",
+          d.name.c_str(), live.wall_ms, live.qps,
+          serve::MetricsJsonFields(live.snap).c_str(),
+          live.write_rate_achieved,
+          static_cast<unsigned long long>(live.updates_applied),
+          static_cast<unsigned long long>(live.epochs), live.lag_mean,
+          static_cast<unsigned long long>(live.lag_max), live.age_max_s);
+    } else {
+      std::fprintf(stderr, "live-mixed mode failed\n");
+      return 1;
+    }
   }
 
   std::printf(

@@ -7,25 +7,34 @@
 //
 // After the burst the server reads commands from stdin until EOF/QUIT:
 //   QUERY <k> <tau>   run one query through the service, print the edges
-//   STATS             one-line service metrics snapshot
+//   INSERT <u> <v>    (live mode) durably insert an edge
+//   DELETE <u> <v>    (live mode) durably delete an edge
+//   CHECKPOINT        (live mode) persist a snapshot + compact the WAL
+//   STATS             one-line service metrics snapshot (+ live stats)
 //   METRICS           Prometheus text exposition of the global registry,
 //                     terminated by a "# EOF" line
 //   TRACE <path>      write collected spans as Chrome trace JSON
 //   QUIT              shut down
 // (With stdin at EOF — e.g. the smoke test — the loop exits immediately.)
 //
+// With --live-dir the server runs on a LiveEsdIndex: updates are logged to
+// <dir>/wal.bin, folded into the writer index, and published to readers as
+// immutable epochs; on startup the server recovers from <dir>/snapshot.bin
+// plus the WAL suffix (surviving SIGKILL mid-stream).
+//
 // Usage:
 //   esd_server --dataset pokec-s [--scale 0.2] [--threads 4] [--clients 8]
 //              [--requests 5000] [--max-queue 1024] [--deadline-us 0]
-//              [--engine frozen]
+//              [--engine frozen] [--live-dir <dir>] [--refreeze-every N]
 //   esd_server --file <edge_list> [--load-index <path>] ...
 //
 // Examples:
 //   build/examples/esd_server --dataset pokec-s --requests 2000
-//   build/examples/esd_server --dataset dblp-s --threads 2 --deadline-us 500
+//   build/examples/esd_server --dataset dblp-s --live-dir /tmp/esd_live
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <future>
 #include <iostream>
 #include <memory>
@@ -42,6 +51,8 @@
 #include "gen/datasets.h"
 #include "graph/graph.h"
 #include "graph/io.h"
+#include "live/live_index.h"
+#include "live/wal.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/metrics.h"
@@ -58,7 +69,8 @@ void Usage() {
                "                  [--scale S] [--engine E] [--threads N]\n"
                "                  [--clients C] [--requests R]\n"
                "                  [--max-queue Q] [--deadline-us D]\n"
-               "                  [--load-index P]\n",
+               "                  [--load-index P]\n"
+               "                  [--live-dir DIR] [--refreeze-every N]\n",
                esd::kVersionString);
 }
 
@@ -81,13 +93,14 @@ const char* StatusName(esd::serve::ResponseStatus s) {
 int main(int argc, char** argv) {
   using namespace esd;
 
-  std::string file, dataset, load_index, engine_name = "frozen";
+  std::string file, dataset, load_index, live_dir, engine_name = "frozen";
   double scale = 1.0;
   unsigned threads = 0;  // 0 = ThreadPool::DefaultThreadCount()
   unsigned clients = 4;
   uint64_t requests = 5000;
   size_t max_queue = 1024;
   uint64_t deadline_us = 0;
+  uint64_t refreeze_every = 256;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -117,6 +130,10 @@ int main(int argc, char** argv) {
       deadline_us = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--load-index") {
       load_index = next();
+    } else if (arg == "--live-dir") {
+      live_dir = next();
+    } else if (arg == "--refreeze-every") {
+      refreeze_every = static_cast<uint64_t>(std::atoll(next()));
     } else {
       Usage();
       return 2;
@@ -142,7 +159,32 @@ int main(int argc, char** argv) {
 
   util::Timer timer;
   std::unique_ptr<core::EsdQueryEngine> engine;
-  if (!load_index.empty()) {
+  std::unique_ptr<live::LiveEsdIndex> live;
+  if (!live_dir.empty()) {
+    std::filesystem::create_directories(live_dir);
+    live::LiveOptions live_options;
+    live_options.wal_path =
+        (std::filesystem::path(live_dir) / "wal.bin").string();
+    live_options.snapshot_path =
+        (std::filesystem::path(live_dir) / "snapshot.bin").string();
+    live_options.refreeze_every = refreeze_every;
+    live_options.registry = &obs::MetricRegistry::Global();
+    std::string error;
+    live = live::LiveEsdIndex::Open(g, live_options, &error);
+    if (live == nullptr) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    engine_name = "live";
+    const live::RecoveredState& rec = live->recovery();
+    std::printf(
+        "live index up: %.1f ms (snapshot %s, replayed %llu wal records, "
+        "wal tail %s, applied_seq %llu)\n",
+        timer.ElapsedMillis(), rec.snapshot_loaded ? "loaded" : "absent",
+        static_cast<unsigned long long>(rec.replay_applied),
+        live::WalTailStatusName(rec.wal.tail),
+        static_cast<unsigned long long>(live->Stats().applied_seq));
+  } else if (!load_index.empty()) {
     std::string error;
     core::FrozenEsdIndex index;
     if (!core::LoadFrozenIndex(load_index, &index, &error)) {
@@ -170,7 +212,15 @@ int main(int argc, char** argv) {
   // Host the service metrics on the process-wide registry so METRICS can
   // dump them alongside the engine counters and phase gauges.
   opts.registry = &obs::MetricRegistry::Global();
-  serve::EsdQueryService service(*engine, opts);
+  // Live mode serves through the engine provider: each batch pins the
+  // current epoch, so INSERT/DELETE/CHECKPOINT swap engines under a
+  // running service without a restart.
+  std::unique_ptr<serve::EsdQueryService> service_ptr =
+      live != nullptr
+          ? std::make_unique<serve::EsdQueryService>(live->EngineProvider(),
+                                                     opts)
+          : std::make_unique<serve::EsdQueryService>(*engine, opts);
+  serve::EsdQueryService& service = *service_ptr;
   std::printf("service up: %u worker threads, queue bound %zu\n\n",
               service.num_threads(), max_queue);
 
@@ -230,7 +280,9 @@ int main(int argc, char** argv) {
               "\"op\":\"burst\",\"wall_ms\":%.6f,\"bytes\":%llu,%s}\n",
               engine_name.c_str(),
               (dataset.empty() ? file : dataset).c_str(), wall_s * 1e3,
-              static_cast<unsigned long long>(engine->MemoryBytes()),
+              static_cast<unsigned long long>(
+                  live != nullptr ? live->CurrentEngine()->MemoryBytes()
+                                  : engine->MemoryBytes()),
               serve::MetricsJsonFields(snap).c_str());
 
   // Command loop. The burst above left the service running so QUERY still
@@ -258,11 +310,48 @@ int main(int argc, char** argv) {
         std::printf("  %zu (%u,%u) %u\n", i + 1, resp.result[i].edge.u,
                     resp.result[i].edge.v, resp.result[i].score);
       }
+    } else if (cmd == "INSERT" || cmd == "DELETE") {
+      if (live == nullptr) {
+        std::printf("ERR updates need --live-dir\n");
+        continue;
+      }
+      live::LiveUpdate update;
+      update.kind = cmd == "INSERT" ? live::UpdateKind::kInsert
+                                    : live::UpdateKind::kDelete;
+      if (!(in >> update.u >> update.v)) {
+        std::printf("ERR usage: %s <u> <v>\n", cmd.c_str());
+        continue;
+      }
+      std::string error;
+      if (live->Apply(update, &error)) {
+        const live::LiveStats s = live->Stats();
+        std::printf("OK seq=%llu wal_bytes=%llu epoch=%llu\n",
+                    static_cast<unsigned long long>(s.applied_seq),
+                    static_cast<unsigned long long>(s.wal_bytes),
+                    static_cast<unsigned long long>(s.snapshot_epoch));
+      } else {
+        std::printf("ERR %s\n", error.c_str());
+      }
+    } else if (cmd == "CHECKPOINT") {
+      if (live == nullptr) {
+        std::printf("ERR checkpoint needs --live-dir\n");
+        continue;
+      }
+      std::string error;
+      if (live->Checkpoint(&error)) {
+        const live::LiveStats s = live->Stats();
+        std::printf("OK seq=%llu wal_bytes=%llu epoch=%llu\n",
+                    static_cast<unsigned long long>(s.applied_seq),
+                    static_cast<unsigned long long>(s.wal_bytes),
+                    static_cast<unsigned long long>(s.snapshot_epoch));
+      } else {
+        std::printf("ERR %s\n", error.c_str());
+      }
     } else if (cmd == "STATS") {
       const serve::MetricsSnapshot s = service.metrics().Snap();
       std::printf("OK accepted=%llu completed=%llu rejected=%llu "
                   "deadline_missed=%llu batches=%llu queue_depth=%llu "
-                  "p50_us=%.1f p95_us=%.1f p99_us=%.1f\n",
+                  "p50_us=%.1f p95_us=%.1f p99_us=%.1f",
                   static_cast<unsigned long long>(s.accepted),
                   static_cast<unsigned long long>(s.completed),
                   static_cast<unsigned long long>(s.rejected),
@@ -270,9 +359,26 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(s.batches),
                   static_cast<unsigned long long>(s.queue_depth),
                   s.total.p50_us, s.total.p95_us, s.total.p99_us);
+      if (live != nullptr) {
+        const live::LiveStats ls = live->Stats();
+        std::printf(" live_seq=%llu live_epoch=%llu live_lag=%llu "
+                    "live_age_s=%.3f wal_bytes=%llu checkpoints=%llu",
+                    static_cast<unsigned long long>(ls.applied_seq),
+                    static_cast<unsigned long long>(ls.snapshot_epoch),
+                    static_cast<unsigned long long>(ls.snapshot_lag),
+                    ls.snapshot_age_s,
+                    static_cast<unsigned long long>(ls.wal_bytes),
+                    static_cast<unsigned long long>(ls.checkpoints));
+      }
+      std::printf("\n");
     } else if (cmd == "METRICS") {
       obs::MetricRegistry& registry = obs::MetricRegistry::Global();
-      core::ExportEngineCounters(*engine, &registry);
+      if (live != nullptr) {
+        live->ExportMetrics();
+        core::ExportEngineCounters(*live->CurrentEngine(), &registry);
+      } else {
+        core::ExportEngineCounters(*engine, &registry);
+      }
       std::fputs(registry.PrometheusText().c_str(), stdout);
       std::printf("# EOF\n");
     } else if (cmd == "TRACE") {
@@ -288,7 +394,8 @@ int main(int argc, char** argv) {
         std::printf("ERR %s\n", error.c_str());
       }
     } else {
-      std::printf("ERR unknown command (QUERY/STATS/METRICS/TRACE/QUIT)\n");
+      std::printf("ERR unknown command (QUERY/INSERT/DELETE/CHECKPOINT/"
+                  "STATS/METRICS/TRACE/QUIT)\n");
     }
     std::fflush(stdout);
   }

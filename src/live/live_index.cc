@@ -1,0 +1,186 @@
+#include "live/live_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace esd::live {
+
+namespace {
+
+bool SetError(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+obs::MetricRegistry& Registry(const LiveOptions& options) {
+  return options.registry != nullptr ? *options.registry
+                                     : obs::MetricRegistry::Global();
+}
+
+}  // namespace
+
+std::unique_ptr<LiveEsdIndex> LiveEsdIndex::Open(const graph::Graph& bootstrap,
+                                                 const LiveOptions& options,
+                                                 std::string* error) {
+  if (options.wal_path.empty()) {
+    SetError(error, "LiveOptions.wal_path is required");
+    return nullptr;
+  }
+  RecoveryOptions rec_options;
+  rec_options.wal_path = options.wal_path;
+  rec_options.snapshot_path = options.snapshot_path;
+  RecoveredState state;
+  if (!Recover(bootstrap, rec_options, &state, error)) return nullptr;
+
+  std::unique_ptr<LiveEsdIndex> live(
+      new LiveEsdIndex(options, std::move(state)));
+  if (!live->wal_.Open(options.wal_path, error)) return nullptr;
+  return live;
+}
+
+LiveEsdIndex::LiveEsdIndex(const LiveOptions& options, RecoveredState recovered)
+    : options_(options), recovered_(std::move(recovered)) {
+  manager_ = std::make_unique<EpochSnapshotManager>(
+      recovered_.graph.Snapshot(), recovered_.applied_seq,
+      options_.pool_threads);
+  next_seq_ = recovered_.applied_seq + 1;
+  // The recovered graph lives on inside the manager; drop the copy.
+  recovered_.graph = graph::DynamicGraph();
+  Registry(options_)
+      .GetCounter("esd_live_replayed_total",
+                  "WAL records folded in during recovery")
+      .Inc(recovered_.replay_applied);
+}
+
+bool LiveEsdIndex::Apply(const LiveUpdate& update, std::string* error) {
+  return ApplyBatch(std::span<const LiveUpdate>(&update, 1), error) == 1;
+}
+
+size_t LiveEsdIndex::ApplyBatch(std::span<const LiveUpdate> updates,
+                                std::string* error) {
+  static thread_local std::string scratch_error;
+  std::lock_guard<std::mutex> lock(live_mu_);
+  obs::MetricRegistry& reg = Registry(options_);
+  obs::Counter& c_inserts =
+      reg.GetCounter("esd_live_inserts_total", "effective edge inserts");
+  obs::Counter& c_deletes =
+      reg.GetCounter("esd_live_deletes_total", "effective edge deletes");
+  obs::Counter& c_noops =
+      reg.GetCounter("esd_live_noops_total", "updates that changed nothing");
+
+  size_t processed = 0;
+  bool appended = false;
+  for (const LiveUpdate& u : updates) {
+    // Bounds are enforced BEFORE the WAL append so the log never contains
+    // a record recovery would interpret differently than the writer did.
+    const graph::VertexId hi = std::max(u.u, u.v);
+    if (u.kind == UpdateKind::kInsert && hi > options_.max_vertex_id) {
+      SetError(error, "vertex id " + std::to_string(hi) +
+                          " exceeds the live index bound " +
+                          std::to_string(options_.max_vertex_id));
+      break;
+    }
+    WalRecord rec;
+    rec.seq = next_seq_;
+    rec.kind = u.kind;
+    rec.u = u.u;
+    rec.v = u.v;
+    if (!wal_.Append(rec, error)) break;
+    appended = true;
+    ++next_seq_;
+    const bool effective =
+        manager_->Apply(rec, options_.max_vertex_id, &scratch_error);
+    if (effective) {
+      if (u.kind == UpdateKind::kInsert) {
+        ++inserts_;
+        c_inserts.Inc();
+      } else {
+        ++deletes_;
+        c_deletes.Inc();
+      }
+    } else {
+      ++noops_;
+      c_noops.Inc();
+    }
+    ++processed;
+    if (options_.refreeze_every != 0 &&
+        ++since_refreeze_ >= options_.refreeze_every) {
+      since_refreeze_ = 0;
+      manager_->ScheduleRefreeze();
+    }
+  }
+  // One durability point per batch: the records are acknowledged together.
+  if (appended && options_.fsync_on_batch) {
+    std::string sync_error;
+    if (!wal_.Sync(&sync_error)) {
+      if (error != nullptr && error->empty()) *error = sync_error;
+      return processed;
+    }
+  }
+  return processed;
+}
+
+bool LiveEsdIndex::Checkpoint(std::string* error) {
+  ESD_TRACE_SPAN("live.checkpoint");
+  if (options_.snapshot_path.empty()) {
+    return SetError(error, "checkpointing is disabled: no snapshot_path");
+  }
+  std::lock_guard<std::mutex> lock(live_mu_);
+  // Publish first so readers never regress behind the persisted state.
+  manager_->RefreezeNow();
+  graph::DynamicGraph g;
+  uint64_t seq = 0;
+  manager_->GraphCopy(&g, &seq);
+  if (!SaveGraphSnapshot(options_.snapshot_path, g, seq, error)) return false;
+  // Crash window here is safe: replay skips records with seq <= snapshot's.
+  if (!wal_.TruncateAll(error)) return false;
+  ++checkpoints_;
+  Registry(options_)
+      .GetCounter("esd_live_checkpoints_total", "successful checkpoints")
+      .Inc();
+  return true;
+}
+
+LiveStats LiveEsdIndex::Stats() const {
+  LiveStats s;
+  {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    s.applied_seq = next_seq_ - 1;
+    s.inserts = inserts_;
+    s.deletes = deletes_;
+    s.noops = noops_;
+    s.checkpoints = checkpoints_;
+    s.wal_bytes = wal_.SizeBytes();
+  }
+  s.refreezes = manager_->epochs_published();
+  const auto snap = manager_->Current();
+  s.snapshot_epoch = snap->epoch;
+  s.snapshot_seq = snap->applied_seq;
+  s.snapshot_age_s = snap->AgeSeconds();
+  s.snapshot_lag = s.applied_seq > s.snapshot_seq
+                       ? s.applied_seq - s.snapshot_seq
+                       : 0;
+  s.recovered_replayed = recovered_.replay_applied;
+  return s;
+}
+
+void LiveEsdIndex::ExportMetrics() const {
+  const LiveStats s = Stats();
+  obs::MetricRegistry& reg = Registry(options_);
+  reg.GetGauge("esd_live_wal_bytes", "current WAL file size")
+      .Set(static_cast<double>(s.wal_bytes));
+  reg.GetGauge("esd_live_snapshot_age_seconds",
+               "age of the serving read epoch")
+      .Set(s.snapshot_age_s);
+  reg.GetGauge("esd_live_snapshot_lag_updates",
+               "updates applied but not yet visible to readers")
+      .Set(static_cast<double>(s.snapshot_lag));
+  reg.GetGauge("esd_live_epoch", "id of the serving read epoch")
+      .Set(static_cast<double>(s.snapshot_epoch));
+  reg.GetGauge("esd_live_applied_seq", "newest durable applied update")
+      .Set(static_cast<double>(s.applied_seq));
+}
+
+}  // namespace esd::live

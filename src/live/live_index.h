@@ -1,0 +1,165 @@
+#ifndef ESD_LIVE_LIVE_INDEX_H_
+#define ESD_LIVE_LIVE_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/query_engine.h"
+#include "graph/graph.h"
+#include "live/recovery.h"
+#include "live/snapshot.h"
+#include "live/wal.h"
+#include "obs/metrics.h"
+
+namespace esd::live {
+
+/// Configuration of one live index instance.
+struct LiveOptions {
+  std::string wal_path;       ///< required
+  std::string snapshot_path;  ///< optional: empty disables checkpoints
+  /// Re-freeze (publish a new read epoch) every this many applied updates;
+  /// 0 disables automatic refreezes (callers drive RefreezeNow/Checkpoint).
+  uint64_t refreeze_every = 256;
+  /// fsync the WAL once per Apply/ApplyBatch call (the durability knob;
+  /// turning it off trades crash durability of the newest batch for
+  /// throughput — recovery still works, it just replays less).
+  bool fsync_on_batch = true;
+  /// Hard bound on vertex ids accepted by inserts (auto-grow limit).
+  graph::VertexId max_vertex_id = (1u << 22);
+  /// Threads of the background refreeze pool.
+  unsigned pool_threads = 2;
+  /// Metrics home; null = obs::MetricRegistry::Global().
+  obs::MetricRegistry* registry = nullptr;
+};
+
+/// One update submitted to the live index.
+struct LiveUpdate {
+  UpdateKind kind = UpdateKind::kInsert;
+  graph::VertexId u = 0;
+  graph::VertexId v = 0;
+};
+
+/// Point-in-time counters of a live index.
+struct LiveStats {
+  uint64_t applied_seq = 0;      ///< newest durable+applied update
+  uint64_t inserts = 0;          ///< effective inserts since Open
+  uint64_t deletes = 0;          ///< effective deletes since Open
+  uint64_t noops = 0;            ///< updates that did not change the graph
+  uint64_t refreezes = 0;        ///< epochs published since Open (boot incl.)
+  uint64_t checkpoints = 0;      ///< successful Checkpoint() calls
+  uint64_t wal_bytes = 0;        ///< current WAL file size
+  uint64_t snapshot_epoch = 0;   ///< epoch id of the current read snapshot
+  uint64_t snapshot_seq = 0;     ///< watermark of the current read snapshot
+  double snapshot_age_s = 0;     ///< age of the current read snapshot
+  uint64_t snapshot_lag = 0;     ///< applied_seq - snapshot_seq
+  uint64_t recovered_replayed = 0;  ///< WAL records folded in at Open
+};
+
+/// The live serving index: WAL-backed ingestion in front of an
+/// EpochSnapshotManager, recovered on open.
+///
+/// Write path (Apply/ApplyBatch, serialized on one mutex):
+///   1. append the update(s) to the WAL, fsync once per call (durability
+///      point — an update is acknowledged only once it would survive
+///      SIGKILL),
+///   2. apply to the writer-side DynamicEsdIndex (paper Section V
+///      maintenance),
+///   3. every `refreeze_every` applied updates, queue a background
+///      re-freeze that publishes a fresh immutable FrozenEsdIndex epoch.
+///
+/// Read path: CurrentSnapshot()/CurrentEngine() — one O(1) shared_ptr
+/// copy; readers keep serving their pinned epoch while newer ones publish
+/// (RCU). EngineProvider() packages this for EsdQueryService, which pins
+/// one snapshot per batch.
+///
+/// Checkpoint(): publish + persist a graph snapshot, then truncate the WAL.
+/// Crash-safe in every interleaving because records carry sequence numbers
+/// and recovery skips those at or below the snapshot watermark.
+class LiveEsdIndex {
+ public:
+  /// Recovers durable state (snapshot + WAL suffix; falls back to
+  /// `bootstrap` when neither exists), truncates any torn WAL tail, opens
+  /// the log for appending, and publishes the boot epoch. Returns null
+  /// with *error set on unrecoverable state.
+  static std::unique_ptr<LiveEsdIndex> Open(const graph::Graph& bootstrap,
+                                            const LiveOptions& options,
+                                            std::string* error);
+
+  ~LiveEsdIndex() = default;
+  LiveEsdIndex(const LiveEsdIndex&) = delete;
+  LiveEsdIndex& operator=(const LiveEsdIndex&) = delete;
+
+  /// Applies one update durably. Returns false on WAL/filesystem errors or
+  /// an out-of-bounds vertex id; graph no-ops (duplicate insert, missing
+  /// delete) return true and count in Stats().noops.
+  bool Apply(const LiveUpdate& update, std::string* error);
+
+  /// Applies a batch with one fsync at the end (the amortized write path).
+  /// Stops at the first hard error (*error set; earlier updates remain
+  /// applied and durable). Returns the number of updates processed.
+  size_t ApplyBatch(std::span<const LiveUpdate> updates, std::string* error);
+
+  /// Publishes a fresh epoch, persists the graph snapshot, truncates the
+  /// WAL. No-op-with-error when options.snapshot_path is empty.
+  bool Checkpoint(std::string* error);
+
+  /// Synchronous epoch publish (also available through the background
+  /// refreeze schedule).
+  void RefreezeNow() { manager_->RefreezeNow(); }
+
+  /// The current read epoch; pin by holding the shared_ptr.
+  std::shared_ptr<const EpochSnapshot> CurrentSnapshot() const {
+    return manager_->Current();
+  }
+
+  /// The current epoch's engine, as an aliasing shared_ptr: the engine
+  /// stays valid exactly as long as the returned pointer lives.
+  std::shared_ptr<const core::EsdQueryEngine> CurrentEngine() const {
+    auto snap = manager_->Current();
+    return std::shared_ptr<const core::EsdQueryEngine>(snap, &snap->index);
+  }
+
+  /// Provider functor for EsdQueryService's engine-swap serving mode.
+  std::function<std::shared_ptr<const core::EsdQueryEngine>()>
+  EngineProvider() const {
+    return [this] { return CurrentEngine(); };
+  }
+
+  LiveStats Stats() const;
+
+  /// Pushes the esd_live_* gauges/counters into the configured registry.
+  void ExportMetrics() const;
+
+  /// Recovery outcome of Open (tail status, replayed records, ...).
+  const RecoveredState& recovery() const { return recovered_; }
+
+  const LiveOptions& options() const { return options_; }
+
+ private:
+  LiveEsdIndex(const LiveOptions& options, RecoveredState recovered);
+
+  LiveOptions options_;
+  RecoveredState recovered_;
+
+  /// Serializes the write path: WAL append order == apply order == seq
+  /// order. (Lock order: live_mu_ before the manager's writer mutex.)
+  mutable std::mutex live_mu_;
+  WalWriter wal_;
+  uint64_t next_seq_ = 1;
+  uint64_t since_refreeze_ = 0;
+  uint64_t inserts_ = 0;
+  uint64_t deletes_ = 0;
+  uint64_t noops_ = 0;
+  uint64_t checkpoints_ = 0;
+
+  std::unique_ptr<EpochSnapshotManager> manager_;
+};
+
+}  // namespace esd::live
+
+#endif  // ESD_LIVE_LIVE_INDEX_H_

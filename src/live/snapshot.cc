@@ -1,0 +1,211 @@
+#include "live/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/binary_format.h"
+#include "obs/trace.h"
+
+namespace esd::live {
+
+namespace {
+
+constexpr char kSnapshotMagic[4] = {'E', 'S', 'D', 'S'};
+constexpr uint32_t kSnapshotVersion = 1;
+
+bool SetError(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+/// Durable whole-file write: tmp file in the same directory, write + fsync +
+/// close, rename over the target, fsync the directory. A crash at any point
+/// leaves either the old snapshot or the new one, never a torn mix.
+bool WriteFileAtomically(const std::string& path, const std::string& bytes,
+                         std::string* error) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return SetError(error, "cannot open " + tmp + " for writing: " +
+                               std::strerror(errno));
+  }
+  const char* data = bytes.data();
+  size_t n = bytes.size();
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return SetError(error, "snapshot write failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  const bool synced = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!synced) {
+    ::unlink(tmp.c_str());
+    return SetError(error, "snapshot fsync failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return SetError(error, "cannot rename " + tmp + " over " + path);
+  }
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);  // make the rename itself durable; best effort
+    ::close(dfd);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SaveGraphSnapshot(const std::string& path, const graph::DynamicGraph& g,
+                       uint64_t applied_seq, std::string* error) {
+  std::vector<graph::Edge> edges;
+  edges.reserve(g.NumEdges());
+  for (graph::VertexId u = 0; u < g.NumVertices(); ++u) {
+    for (graph::VertexId v : g.Neighbors(u)) {
+      if (u < v) edges.push_back({u, v});
+    }
+  }
+  std::ostringstream out(std::ios::binary);
+  out.write(kSnapshotMagic, sizeof(kSnapshotMagic));
+  uint32_t version = kSnapshotVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  core::BinaryWriter w(out);
+  w.Put(applied_seq);
+  w.Put(g.NumVertices());
+  w.PutArray(std::span<const graph::Edge>(edges));
+  const uint64_t checksum = w.checksum();
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!out) return SetError(error, "snapshot serialization failed");
+  return WriteFileAtomically(path, std::move(out).str(), error);
+}
+
+bool LoadGraphSnapshot(const std::string& path, GraphSnapshotData* out,
+                       std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return SetError(error, "cannot open snapshot file " + path);
+  char magic[4];
+  uint32_t version = 0;
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return SetError(error, "bad magic: " + path + " is not an ESDS snapshot");
+  }
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in || version != kSnapshotVersion) {
+    return SetError(error, "unsupported snapshot version");
+  }
+  core::BinaryReader r(in);
+  GraphSnapshotData data;
+  if (!r.Get(&data.applied_seq) || !r.Get(&data.num_vertices) ||
+      !r.GetArray(&data.edges)) {
+    return SetError(error, r.error() != nullptr
+                               ? r.error()
+                               : "truncated snapshot file");
+  }
+  uint64_t stored_checksum = 0;
+  in.read(reinterpret_cast<char*>(&stored_checksum), sizeof(stored_checksum));
+  if (!in || stored_checksum != r.checksum()) {
+    return SetError(error, "checksum mismatch: snapshot file corrupt");
+  }
+  for (const graph::Edge& e : data.edges) {
+    if (e.u >= data.num_vertices || e.v >= data.num_vertices || e.u == e.v) {
+      return SetError(error, "corrupt snapshot: edge endpoint out of range");
+    }
+  }
+  *out = std::move(data);
+  return true;
+}
+
+EpochSnapshotManager::EpochSnapshotManager(const graph::Graph& base,
+                                           uint64_t base_seq,
+                                           unsigned pool_threads)
+    : writer_(base),
+      applied_seq_(base_seq),
+      pool_(std::max(2u, pool_threads)) {
+  Publish(core::Freeze(writer_.Index()), base_seq);
+}
+
+bool EpochSnapshotManager::Apply(const WalRecord& record,
+                                 graph::VertexId max_vertex_id,
+                                 std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const graph::VertexId hi = std::max(record.u, record.v);
+  bool effective = false;
+  if (record.kind == UpdateKind::kInsert) {
+    if (hi > max_vertex_id) {
+      SetError(error, "vertex id " + std::to_string(hi) +
+                          " exceeds the live index bound " +
+                          std::to_string(max_vertex_id));
+      return false;
+    }
+    while (writer_.CurrentGraph().NumVertices() <= hi) writer_.AddVertex();
+    effective = writer_.InsertEdge(record.u, record.v);
+  } else {
+    // Deleting outside the vertex set is just a no-op miss, never an error.
+    effective = hi < writer_.CurrentGraph().NumVertices() &&
+                writer_.DeleteEdge(record.u, record.v);
+  }
+  applied_seq_.store(record.seq, std::memory_order_relaxed);
+  return effective;
+}
+
+void EpochSnapshotManager::RefreezeNow() {
+  ESD_TRACE_SPAN("live.refreeze");
+  core::FrozenEsdIndex frozen;
+  uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    frozen = core::Freeze(writer_.Index());
+    seq = applied_seq_.load(std::memory_order_relaxed);
+    refreeze_queued_ = false;
+  }
+  Publish(std::move(frozen), seq);
+}
+
+void EpochSnapshotManager::ScheduleRefreeze() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (refreeze_queued_) return;
+    refreeze_queued_ = true;
+  }
+  pool_.Post([this] { RefreezeNow(); });
+}
+
+void EpochSnapshotManager::GraphCopy(graph::DynamicGraph* out,
+                                     uint64_t* applied_seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  *out = writer_.CurrentGraph();
+  *applied_seq = applied_seq_.load(std::memory_order_relaxed);
+}
+
+void EpochSnapshotManager::Publish(core::FrozenEsdIndex frozen,
+                                   uint64_t seq) {
+  auto snap = std::make_shared<EpochSnapshot>();
+  snap->index = std::move(frozen);
+  snap->applied_seq = seq;
+  snap->epoch = epochs_published_.fetch_add(1, std::memory_order_relaxed);
+  snap->published_at = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(published_mu_);
+  published_ = std::move(snap);
+}
+
+}  // namespace esd::live

@@ -1,0 +1,142 @@
+#ifndef ESD_LIVE_SNAPSHOT_H_
+#define ESD_LIVE_SNAPSHOT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/dynamic_index.h"
+#include "core/frozen_index.h"
+#include "graph/dynamic_graph.h"
+#include "graph/graph.h"
+#include "live/wal.h"
+#include "util/thread_pool.h"
+
+namespace esd::live {
+
+/// One published read epoch: an immutable FrozenEsdIndex plus the update
+/// watermark it reflects. Readers pin an epoch with one shared_ptr copy and
+/// keep serving from it for as long as they like — publication of a newer
+/// epoch never invalidates a pinned one (RCU semantics: old epochs are
+/// reclaimed when the last reader drops its pin).
+struct EpochSnapshot {
+  core::FrozenEsdIndex index;
+  uint64_t epoch = 0;        ///< 0 for the boot snapshot, +1 per publish
+  uint64_t applied_seq = 0;  ///< last WAL seq folded into `index`
+  std::chrono::steady_clock::time_point published_at{};
+
+  /// Age of this epoch (now - publish time), the serving-staleness signal.
+  double AgeSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         published_at)
+        .count();
+  }
+};
+
+/// The persisted half of a checkpoint: the writer graph plus its update
+/// watermark ("ESDS" v1 file: header, u64 applied_seq, u32 num_vertices,
+/// length-prefixed edge array, trailing u64 FNV-1a checksum — same
+/// conventions as index_io, written atomically via tmp-file + rename).
+struct GraphSnapshotData {
+  uint64_t applied_seq = 0;
+  graph::VertexId num_vertices = 0;
+  std::vector<graph::Edge> edges;
+};
+
+bool SaveGraphSnapshot(const std::string& path, const graph::DynamicGraph& g,
+                       uint64_t applied_seq, std::string* error);
+bool LoadGraphSnapshot(const std::string& path, GraphSnapshotData* out,
+                       std::string* error);
+
+/// Writer-side state of the live index: owns the maintained
+/// DynamicEsdIndex (Section V's Algorithms 4/5 keep it exact under edge
+/// updates) and periodically re-freezes it into an immutable
+/// FrozenEsdIndex published through an RCU-style std::shared_ptr swap.
+///
+/// Concurrency contract:
+///   * Apply/ApplyBatch/RefreezeNow/GraphCopy serialize on one writer
+///     mutex; callers (LiveEsdIndex) add their own WAL ordering on top.
+///   * Current() never blocks on writers: one shared_ptr copy under a
+///     dedicated publication mutex whose critical sections are O(1)
+///     pointer swaps (a refreeze builds the new image under the writer
+///     lock, outside the publication lock).
+///   * ScheduleRefreeze() coalesces: at most one background refreeze is
+///     queued on the pool at a time.
+class EpochSnapshotManager {
+ public:
+  /// Bootstraps the writer index from `base` (a from-scratch 4-clique
+  /// build) and publishes epoch 0 covering `base_seq`.
+  EpochSnapshotManager(const graph::Graph& base, uint64_t base_seq,
+                       unsigned pool_threads);
+
+  /// Joins in-flight background refreezes (the pool drains before exit).
+  ~EpochSnapshotManager() = default;
+
+  EpochSnapshotManager(const EpochSnapshotManager&) = delete;
+  EpochSnapshotManager& operator=(const EpochSnapshotManager&) = delete;
+
+  /// Applies one update at watermark `seq` to the writer index, growing
+  /// the vertex set as needed (up to `max_vertex_id`). Returns true if the
+  /// update changed the graph ("effective"); false for no-ops (duplicate
+  /// insert, missing delete, self-loop) and for out-of-bounds endpoints
+  /// (*error set in that last case when non-null).
+  bool Apply(const WalRecord& record, graph::VertexId max_vertex_id,
+             std::string* error);
+
+  /// Rebuilds the frozen image from the writer index and publishes it as a
+  /// new epoch. Synchronous; serializes with Apply.
+  void RefreezeNow();
+
+  /// Queues RefreezeNow on the pool unless one is already queued.
+  void ScheduleRefreeze();
+
+  /// The current epoch (pin by keeping the shared_ptr). Never null.
+  std::shared_ptr<const EpochSnapshot> Current() const {
+    std::lock_guard<std::mutex> lock(published_mu_);
+    return published_;
+  }
+
+  /// Copy of the writer graph and its watermark, for checkpoint persistence.
+  void GraphCopy(graph::DynamicGraph* out, uint64_t* applied_seq) const;
+
+  uint64_t applied_seq() const {
+    return applied_seq_.load(std::memory_order_relaxed);
+  }
+  uint64_t epochs_published() const {
+    return epochs_published_.load(std::memory_order_relaxed);
+  }
+
+  /// Test/diagnostic access to the writer index. Not synchronized: callers
+  /// must quiesce writers first.
+  const core::DynamicEsdIndex& writer_unsynchronized() const {
+    return writer_;
+  }
+
+ private:
+  void Publish(core::FrozenEsdIndex frozen, uint64_t seq);
+
+  mutable std::mutex mu_;  // guards writer_ and refreeze_queued_
+  core::DynamicEsdIndex writer_;
+  bool refreeze_queued_ = false;
+
+  std::atomic<uint64_t> applied_seq_;
+  std::atomic<uint64_t> epochs_published_{0};
+
+  /// Publication lock: both sides hold it only for one shared_ptr copy or
+  /// swap, so readers never wait on an index build. (std::atomic<shared_ptr>
+  /// would do, but libstdc++'s lock-bit implementation is opaque to TSan.)
+  mutable std::mutex published_mu_;
+  std::shared_ptr<const EpochSnapshot> published_;
+
+  /// Declared last: destroyed first, which drains any queued refreeze
+  /// while the members it touches are still alive.
+  util::ThreadPool pool_;
+};
+
+}  // namespace esd::live
+
+#endif  // ESD_LIVE_SNAPSHOT_H_

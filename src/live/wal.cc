@@ -1,0 +1,245 @@
+#include "live/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+
+#include "core/binary_format.h"
+
+namespace esd::live {
+
+namespace {
+
+constexpr char kWalMagic[4] = {'E', 'S', 'D', 'W'};
+constexpr uint32_t kWalVersion = 1;
+
+void EncodeU32(char* dst, uint32_t v) { std::memcpy(dst, &v, sizeof(v)); }
+void EncodeU64(char* dst, uint64_t v) { std::memcpy(dst, &v, sizeof(v)); }
+
+uint32_t DecodeU32(const char* src) {
+  uint32_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+uint64_t DecodeU64(const char* src) {
+  uint64_t v;
+  std::memcpy(&v, src, sizeof(v));
+  return v;
+}
+
+void EncodePayload(const WalRecord& rec, char* dst) {
+  EncodeU64(dst, rec.seq);
+  dst[8] = static_cast<char>(rec.kind);
+  EncodeU32(dst + 9, rec.u);
+  EncodeU32(dst + 13, rec.v);
+}
+
+WalRecord DecodePayload(const char* src) {
+  WalRecord rec;
+  rec.seq = DecodeU64(src);
+  rec.kind = static_cast<uint8_t>(src[8]) == 0 ? UpdateKind::kInsert
+                                               : UpdateKind::kDelete;
+  rec.u = DecodeU32(src + 9);
+  rec.v = DecodeU32(src + 13);
+  return rec;
+}
+
+bool SetError(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what;
+  return false;
+}
+
+/// write() until done (short writes are legal for regular files under
+/// signals; loop regardless).
+bool WriteFully(int fd, const char* data, size_t n, std::string* error) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return SetError(error, std::string("wal write failed: ") +
+                                 std::strerror(errno));
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* UpdateKindName(UpdateKind kind) {
+  return kind == UpdateKind::kInsert ? "insert" : "delete";
+}
+
+const char* WalTailStatusName(WalTailStatus status) {
+  switch (status) {
+    case WalTailStatus::kClean:
+      return "clean";
+    case WalTailStatus::kTruncatedRecord:
+      return "truncated-record";
+    case WalTailStatus::kChecksumMismatch:
+      return "checksum-mismatch";
+    case WalTailStatus::kOversizedRecord:
+      return "oversized-record";
+    case WalTailStatus::kMalformedRecord:
+      return "malformed-record";
+    case WalTailStatus::kBadFileHeader:
+      return "bad-file-header";
+  }
+  return "?";
+}
+
+bool ReplayWal(const std::string& path,
+               const std::function<void(const WalRecord&)>& fn,
+               WalReplayResult* result, std::string* error) {
+  *result = WalReplayResult{};
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    // A log that was never created replays as empty — the first Open()
+    // writes it.
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0 && errno == ENOENT) return true;
+    return SetError(error, "cannot open wal file " + path);
+  }
+
+  char header[kWalFileHeaderBytes];
+  in.read(header, sizeof(header));
+  const std::streamsize got = in.gcount();
+  if (got == 0) return true;  // empty file: fresh log
+  if (got < static_cast<std::streamsize>(sizeof(header))) {
+    // The initial header write itself was torn; nothing was ever logged.
+    result->tail = WalTailStatus::kTruncatedRecord;
+    return true;
+  }
+  if (std::memcmp(header, kWalMagic, sizeof(kWalMagic)) != 0 ||
+      DecodeU32(header + 4) != kWalVersion) {
+    result->tail = WalTailStatus::kBadFileHeader;
+    return SetError(error, "bad wal header: " + path + " is not an ESDW log");
+  }
+  result->valid_bytes = kWalFileHeaderBytes;
+
+  // Fixed stack buffer: a corrupt length prefix can never over-allocate.
+  char payload[kMaxWalRecordBytes];
+  char rec_header[kWalRecordHeaderBytes];
+  while (true) {
+    in.read(rec_header, sizeof(rec_header));
+    const std::streamsize hdr_got = in.gcount();
+    if (hdr_got == 0) break;  // clean EOF
+    if (hdr_got < static_cast<std::streamsize>(sizeof(rec_header))) {
+      result->tail = WalTailStatus::kTruncatedRecord;
+      return true;
+    }
+    const uint32_t len = DecodeU32(rec_header);
+    const uint64_t stored_sum = DecodeU64(rec_header + 4);
+    if (len > kMaxWalRecordBytes) {
+      result->tail = WalTailStatus::kOversizedRecord;
+      return true;
+    }
+    if (len != kWalPayloadBytes) {
+      result->tail = WalTailStatus::kMalformedRecord;
+      return true;
+    }
+    in.read(payload, len);
+    if (in.gcount() < static_cast<std::streamsize>(len)) {
+      result->tail = WalTailStatus::kTruncatedRecord;
+      return true;
+    }
+    if (core::Fnv1a(payload, len) != stored_sum) {
+      result->tail = WalTailStatus::kChecksumMismatch;
+      return true;
+    }
+    const WalRecord rec = DecodePayload(payload);
+    if (fn) fn(rec);
+    ++result->records;
+    result->last_seq = rec.seq;
+    result->valid_bytes += kWalRecordHeaderBytes + len;
+  }
+  return true;
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+void WalWriter::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool WalWriter::Open(const std::string& path, std::string* error) {
+  Close();
+  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd_ < 0) {
+    return SetError(error, "cannot open wal file " + path + ": " +
+                               std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    Close();
+    return SetError(error, "cannot stat wal file " + path);
+  }
+  bytes_ = static_cast<uint64_t>(st.st_size);
+  if (bytes_ == 0) {
+    char header[kWalFileHeaderBytes];
+    std::memcpy(header, kWalMagic, sizeof(kWalMagic));
+    EncodeU32(header + 4, kWalVersion);
+    if (!WriteFully(fd_, header, sizeof(header), error) || !Sync(error)) {
+      Close();
+      return false;
+    }
+    bytes_ = kWalFileHeaderBytes;
+    return true;
+  }
+  if (bytes_ < kWalFileHeaderBytes) {
+    Close();
+    return SetError(error, "wal file " + path +
+                               " has a torn header; run recovery first");
+  }
+  // Verify we are appending to our own format, not someone else's file.
+  std::ifstream in(path, std::ios::binary);
+  char header[kWalFileHeaderBytes];
+  in.read(header, sizeof(header));
+  if (!in || std::memcmp(header, kWalMagic, sizeof(kWalMagic)) != 0 ||
+      DecodeU32(header + 4) != kWalVersion) {
+    Close();
+    return SetError(error, "bad wal header: " + path + " is not an ESDW log");
+  }
+  return true;
+}
+
+bool WalWriter::Append(const WalRecord& record, std::string* error) {
+  if (fd_ < 0) return SetError(error, "wal writer is not open");
+  char buf[kWalRecordHeaderBytes + kWalPayloadBytes];
+  EncodePayload(record, buf + kWalRecordHeaderBytes);
+  EncodeU32(buf, kWalPayloadBytes);
+  EncodeU64(buf + 4, core::Fnv1a(buf + kWalRecordHeaderBytes,
+                                 kWalPayloadBytes));
+  if (!WriteFully(fd_, buf, sizeof(buf), error)) return false;
+  bytes_ += sizeof(buf);
+  return true;
+}
+
+bool WalWriter::Sync(std::string* error) {
+  if (fd_ < 0) return SetError(error, "wal writer is not open");
+  if (::fsync(fd_) != 0) {
+    return SetError(error,
+                    std::string("wal fsync failed: ") + std::strerror(errno));
+  }
+  return true;
+}
+
+bool WalWriter::TruncateAll(std::string* error) {
+  if (fd_ < 0) return SetError(error, "wal writer is not open");
+  if (::ftruncate(fd_, kWalFileHeaderBytes) != 0) {
+    return SetError(error, std::string("wal truncate failed: ") +
+                               std::strerror(errno));
+  }
+  bytes_ = kWalFileHeaderBytes;
+  return Sync(error);
+}
+
+}  // namespace esd::live

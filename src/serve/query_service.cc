@@ -21,8 +21,23 @@ EsdQueryService::EsdQueryService(const core::EsdQueryEngine& engine)
 
 EsdQueryService::EsdQueryService(const core::EsdQueryEngine& engine,
                                  const Options& options)
-    : engine_(engine),
+    : engine_(&engine),
       frozen_(dynamic_cast<const core::FrozenEsdIndex*>(&engine)),
+      num_threads_(options.num_threads == 0
+                       ? util::ThreadPool::DefaultThreadCount()
+                       : options.num_threads),
+      max_queue_(std::max<size_t>(1, options.max_queue)),
+      max_batch_(std::max<size_t>(1, options.max_batch)),
+      metrics_(options.registry),
+      pool_(num_threads_) {
+  if (!options.start_paused) Start();
+}
+
+EsdQueryService::EsdQueryService(EngineProvider provider,
+                                 const Options& options)
+    : engine_(nullptr),
+      provider_(std::move(provider)),
+      frozen_(nullptr),
       num_threads_(options.num_threads == 0
                        ? util::ThreadPool::DefaultThreadCount()
                        : options.num_threads),
@@ -134,6 +149,18 @@ void EsdQueryService::WorkerLoop() {
 
 void EsdQueryService::ServeBatch(std::vector<Pending> batch) {
   ESD_TRACE_SPAN("serve.batch");
+  // Pin the serving engine once per batch. In provider mode the shared_ptr
+  // keeps this batch's epoch alive even while the writer publishes newer
+  // ones (RCU read-side); in static mode the engine outlives the service
+  // by contract and pinning is free.
+  std::shared_ptr<const core::EsdQueryEngine> pinned;
+  const core::EsdQueryEngine* engine = engine_;
+  const core::FrozenEsdIndex* frozen = frozen_;
+  if (provider_) {
+    pinned = provider_();
+    engine = pinned.get();
+    frozen = dynamic_cast<const core::FrozenEsdIndex*>(engine);
+  }
   // Group by tau (stable: FIFO preserved within a tau) so the frozen
   // engine's sizes_ binary search runs once per distinct tau in the batch.
   std::stable_sort(batch.begin(), batch.end(),
@@ -160,18 +187,18 @@ void EsdQueryService::ServeBatch(std::vector<Pending> batch) {
     } else {
       const QueryRequest& rq = p.request;
       util::Timer timer;
-      if (frozen_ != nullptr && rq.k > 0 && rq.tau > 0) {
+      if (frozen != nullptr && rq.k > 0 && rq.tau > 0) {
         if (!have_slab || slab_tau != rq.tau) {
-          slab = frozen_->FindSlab(rq.tau);
+          slab = frozen->FindSlab(rq.tau);
           slab_tau = rq.tau;
           have_slab = true;
           ++distinct_taus;
         }
         response.result =
-            frozen_->QueryAtSlab(slab, rq.k, rq.pad_with_zero_edges);
+            frozen->QueryAtSlab(slab, rq.k, rq.pad_with_zero_edges);
       } else {
         // Degenerate (k or tau 0) or non-frozen engine: per-request path.
-        response.result = engine_.Query(rq.k, rq.tau, rq.pad_with_zero_edges);
+        response.result = engine->Query(rq.k, rq.tau, rq.pad_with_zero_edges);
         ++distinct_taus;
       }
       response.exec_us = timer.ElapsedMicros();

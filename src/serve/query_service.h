@@ -6,7 +6,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -88,8 +90,19 @@ class EsdQueryService {
     obs::MetricRegistry* registry = nullptr;
   };
 
+  /// Returns the engine a batch should serve from. Called once per batch
+  /// (the pinning granularity): every request in a batch sees one
+  /// consistent engine, and the shared_ptr keeps that engine alive for the
+  /// batch even if the provider publishes a newer one mid-serve. Must be
+  /// callable from any worker thread and never return null.
+  using EngineProvider =
+      std::function<std::shared_ptr<const core::EsdQueryEngine>()>;
+
   explicit EsdQueryService(const core::EsdQueryEngine& engine);
   EsdQueryService(const core::EsdQueryEngine& engine, const Options& options);
+  /// Engine-swap serving mode: each batch pins the provider's current
+  /// engine (e.g. a LiveEsdIndex epoch) instead of one fixed engine.
+  EsdQueryService(EngineProvider provider, const Options& options);
   ~EsdQueryService();
 
   EsdQueryService(const EsdQueryService&) = delete;
@@ -127,7 +140,11 @@ class EsdQueryService {
   void WorkerLoop();
   void ServeBatch(std::vector<Pending> batch);
 
-  const core::EsdQueryEngine& engine_;
+  /// Exactly one of engine_/provider_ is set. In provider mode ServeBatch
+  /// re-pins per batch; in static mode engine_ (and the frozen_ downcast)
+  /// are fixed for the service's lifetime.
+  const core::EsdQueryEngine* engine_;
+  EngineProvider provider_;
   /// Non-null when engine_ is a FrozenEsdIndex: enables the batched
   /// slab-reuse fast path.
   const core::FrozenEsdIndex* frozen_;

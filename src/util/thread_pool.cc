@@ -75,21 +75,54 @@ void ThreadPool::ParallelForChunked(
   job_ = nullptr;
 }
 
+void ThreadPool::Post(std::function<void()> task) {
+  if (workers_.empty()) {  // 1-thread pool: no worker will ever drain it
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      tasks_.push_back(std::move(task));
+      task = nullptr;
+    }
+  }
+  if (task) {  // lost the race with the destructor: run inline
+    task();
+    return;
+  }
+  work_ready_.notify_one();
+}
+
 void ThreadPool::WorkerLoop() {
   uint64_t seen_generation = 0;
   while (true) {
+    std::function<void()> task;
     std::function<void(uint64_t, uint64_t)> job;
-    uint64_t end, grain;
+    uint64_t end = 0, grain = 1;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_ready_.wait(lock, [&] {
-        return shutdown_ || (job_ != nullptr && generation_ != seen_generation);
+        return shutdown_ || !tasks_.empty() ||
+               (job_ != nullptr && generation_ != seen_generation);
       });
-      if (shutdown_) return;
-      seen_generation = generation_;
-      job = job_;
-      end = end_;
-      grain = grain_;
+      if (!tasks_.empty()) {
+        // Tasks take priority and are drained even during shutdown, so a
+        // refreeze posted just before teardown still publishes.
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      } else if (shutdown_) {
+        return;
+      } else {
+        seen_generation = generation_;
+        job = job_;
+        end = end_;
+        grain = grain_;
+      }
+    }
+    if (task) {
+      task();
+      continue;
     }
     while (true) {
       uint64_t lo = next_.fetch_add(grain, std::memory_order_relaxed);

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -44,6 +45,16 @@ class ThreadPool {
   void ParallelForChunked(uint64_t begin, uint64_t end, uint64_t grain,
                           const std::function<void(uint64_t, uint64_t)>& fn);
 
+  /// Fire-and-forget: enqueues `task` to run on one of the pool's worker
+  /// threads and returns immediately (the live-index subsystem hosts its
+  /// background re-freezes this way). A 1-thread pool has no workers, so
+  /// the task runs inline on the calling thread — callers that need true
+  /// background execution must size the pool >= 2. Tasks pending at
+  /// destruction are drained (run, not dropped) before the workers join;
+  /// a Post() racing shutdown runs inline. Tasks must not call Post or
+  /// ParallelFor on their own pool.
+  void Post(std::function<void()> task);
+
  private:
   void WorkerLoop();
 
@@ -54,6 +65,10 @@ class ThreadPool {
   std::condition_variable work_ready_;
   std::condition_variable work_done_;
   bool shutdown_ = false;
+
+  // Posted fire-and-forget tasks; protected by mu_. Workers prefer tasks
+  // over ParallelFor chunks and drain the queue before shutdown.
+  std::deque<std::function<void()>> tasks_;
 
   // Current ParallelFor job; protected by mu_ for setup/teardown, lock-free
   // chunk claiming through next_.

@@ -288,5 +288,46 @@ TEST(ThreadPoolServeTest, DefaultThreadCountIsPositive) {
   EXPECT_GE(util::ThreadPool::DefaultThreadCount(), 1u);
 }
 
+// Engine-swap serving: each batch pins the provider's engine of the moment,
+// and a batch keeps its pinned engine alive (shared_ptr) even after the
+// provider moves on — the contract LiveEsdIndex epoch swaps rely on.
+TEST(ServeTest, EngineProviderPinsEnginePerBatch) {
+  graph::Graph g_small = gen::ErdosRenyiGnm(40, 80, 5);
+  graph::Graph g_large = gen::ErdosRenyiGnm(60, 200, 6);
+  auto engine_a = std::make_shared<FrozenEsdIndex>(core::BuildFrozenIndex(g_small));
+  auto engine_b = std::make_shared<FrozenEsdIndex>(core::BuildFrozenIndex(g_large));
+  const TopKResult want_a = engine_a->Query(16, 2);
+  const TopKResult want_b = engine_b->Query(16, 2);
+  ASSERT_NE(want_a, want_b) << "test graphs must give distinct answers";
+
+  std::mutex mu;
+  std::shared_ptr<const FrozenEsdIndex> current = engine_a;
+  EsdQueryService::Options opts;
+  opts.num_threads = 2;
+  EsdQueryService service(
+      [&]() -> std::shared_ptr<const core::EsdQueryEngine> {
+        std::lock_guard<std::mutex> lock(mu);
+        return current;
+      },
+      opts);
+
+  QueryRequest rq;
+  rq.k = 16;
+  rq.tau = 2;
+  EXPECT_EQ(service.Query(rq).result, want_a);
+
+  // Swap the engine; subsequent batches must see the new one even though
+  // the service never restarts. Dropping our references proves each batch
+  // held its own pin.
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    current = engine_b;
+  }
+  engine_a.reset();
+  EXPECT_EQ(service.Query(rq).result, want_b);
+  engine_b.reset();  // `current` still pins it inside the provider
+  EXPECT_EQ(service.Query(rq).result, want_b);
+}
+
 }  // namespace
 }  // namespace esd

@@ -1,9 +1,11 @@
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <numeric>
 #include <queue>
 #include <set>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -615,6 +617,46 @@ TEST(StripedLocksTest, PowerOfTwoStripesAndStableMapping) {
   StripedLocks locks(100);
   EXPECT_EQ(locks.num_stripes(), 128u);
   EXPECT_EQ(&locks.ForKey(42), &locks.ForKey(42));
+}
+
+TEST(ThreadPoolPostTest, TasksRunAndDrainBeforeDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 200; ++i) {
+      pool.Post([&ran] { ran.fetch_add(1); });
+    }
+  }  // destructor drains everything still queued
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPoolPostTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  bool ran = false;
+  pool.Post([&ran] { ran = true; });
+  EXPECT_TRUE(ran);  // no worker exists; Post must have run it inline
+}
+
+TEST(ThreadPoolPostTest, PostedTasksInterleaveWithParallelFor) {
+  ThreadPool pool(4);
+  std::atomic<int> tasks{0};
+  std::atomic<uint64_t> sum{0};
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      pool.Post([&tasks] { tasks.fetch_add(1); });
+    }
+    pool.ParallelFor(0, 1000, 16, [&sum](uint64_t i) {
+      sum.fetch_add(i, std::memory_order_relaxed);
+    });
+  }
+  // ParallelFor must still cover every index despite competing tasks.
+  EXPECT_EQ(sum.load(), 20ull * (999ull * 1000ull / 2));
+  // Give queued tasks their guaranteed drain point: the destructor.
+  // (Checked implicitly; here we just wait for the count.)
+  while (tasks.load() < 100) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(tasks.load(), 100);
 }
 
 }  // namespace
