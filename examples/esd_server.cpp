@@ -10,9 +10,13 @@
 //   INSERT <u> <v>    (live mode) durably insert an edge
 //   DELETE <u> <v>    (live mode) durably delete an edge
 //   CHECKPOINT        (live mode) persist a snapshot + compact the WAL
-//   STATS             one-line service metrics snapshot (+ live stats)
+//   STATS             one-line service metrics snapshot (+ live stats and
+//                     the health=ok|degraded|read-only field)
 //   METRICS           Prometheus text exposition of the global registry,
 //                     terminated by a "# EOF" line
+//   FAILPOINT <name> <spec>   arm a fail point at runtime (spec syntax as
+//                     in $ESD_FAILPOINTS, e.g. "error(ENOSPC)" or "off");
+//                     FAILPOINT clearall disarms everything
 //   TRACE <path>      write collected spans as Chrome trace JSON
 //   QUIT              shut down
 // (With stdin at EOF — e.g. the smoke test — the loop exits immediately.)
@@ -48,6 +52,8 @@
 #include "core/index_io.h"
 #include "core/query_engine.h"
 #include "esd_version.h"
+#include "fault/failpoint.h"
+#include "obs/health.h"
 #include "gen/datasets.h"
 #include "graph/graph.h"
 #include "graph/io.h"
@@ -145,6 +151,24 @@ int main(int argc, char** argv) {
   }
   if (clients == 0) clients = 1;
 
+  // Surface injected faults up front: an operator (or the chaos smoke
+  // script) should be able to see from the log which points are armed.
+  {
+    const std::vector<std::string> active =
+        fault::FailPointRegistry::Global().ActiveNames();
+    if (!active.empty()) {
+      std::string joined;
+      for (const std::string& name : active) {
+        if (!joined.empty()) joined += ", ";
+        joined += name;
+      }
+      std::printf("fail points active: %s%s\n", joined.c_str(),
+                  fault::kFailPointsCompiledIn
+                      ? ""
+                      : " (sites compiled out: ESD_FAULT=OFF)");
+    }
+  }
+
   graph::Graph g;
   if (!file.empty()) {
     std::string error;
@@ -212,6 +236,12 @@ int main(int argc, char** argv) {
   // Host the service metrics on the process-wide registry so METRICS can
   // dump them alongside the engine counters and phase gauges.
   opts.registry = &obs::MetricRegistry::Global();
+  // Fold the live index's fault posture (read-only / breaker-open) into
+  // the service's Health() so STATS and METRICS report one combined state.
+  if (live != nullptr) {
+    live::LiveEsdIndex* live_raw = live.get();
+    opts.health_source = [live_raw] { return live_raw->Health(); };
+  }
   // Live mode serves through the engine provider: each batch pins the
   // current epoch, so INSERT/DELETE/CHECKPOINT swap engines under a
   // running service without a restart.
@@ -322,15 +352,18 @@ int main(int argc, char** argv) {
         std::printf("ERR usage: %s <u> <v>\n", cmd.c_str());
         continue;
       }
-      std::string error;
-      if (live->Apply(update, &error)) {
+      const live::ApplyResult result = live->ApplyTyped(update);
+      if (result.status == live::ApplyStatus::kOk && result.processed == 1) {
         const live::LiveStats s = live->Stats();
         std::printf("OK seq=%llu wal_bytes=%llu epoch=%llu\n",
                     static_cast<unsigned long long>(s.applied_seq),
                     static_cast<unsigned long long>(s.wal_bytes),
                     static_cast<unsigned long long>(s.snapshot_epoch));
       } else {
-        std::printf("ERR %s\n", error.c_str());
+        // Typed rejection: scripts match on the status token (wal-error,
+        // degraded, bounds) without parsing the prose.
+        std::printf("ERR %s %s\n", live::ApplyStatusName(result.status),
+                    result.message.c_str());
       }
     } else if (cmd == "CHECKPOINT") {
       if (live == nullptr) {
@@ -362,14 +395,22 @@ int main(int argc, char** argv) {
       if (live != nullptr) {
         const live::LiveStats ls = live->Stats();
         std::printf(" live_seq=%llu live_epoch=%llu live_lag=%llu "
-                    "live_age_s=%.3f wal_bytes=%llu checkpoints=%llu",
+                    "live_age_s=%.3f wal_bytes=%llu checkpoints=%llu "
+                    "wal_retries=%llu wal_failures=%llu "
+                    "degraded_rejections=%llu heals=%llu breaker_open=%d",
                     static_cast<unsigned long long>(ls.applied_seq),
                     static_cast<unsigned long long>(ls.snapshot_epoch),
                     static_cast<unsigned long long>(ls.snapshot_lag),
                     ls.snapshot_age_s,
                     static_cast<unsigned long long>(ls.wal_bytes),
-                    static_cast<unsigned long long>(ls.checkpoints));
+                    static_cast<unsigned long long>(ls.checkpoints),
+                    static_cast<unsigned long long>(ls.wal_retries),
+                    static_cast<unsigned long long>(ls.wal_append_failures),
+                    static_cast<unsigned long long>(ls.degraded_rejections),
+                    static_cast<unsigned long long>(ls.heals),
+                    ls.breaker_open ? 1 : 0);
       }
+      std::printf(" health=%s", obs::HealthStateName(service.Health()));
       std::printf("\n");
     } else if (cmd == "METRICS") {
       obs::MetricRegistry& registry = obs::MetricRegistry::Global();
@@ -379,8 +420,37 @@ int main(int argc, char** argv) {
       } else {
         core::ExportEngineCounters(*engine, &registry);
       }
+      // The combined (service + live) health beats the live-only view
+      // ExportMetrics just wrote.
+      obs::ExportHealth(registry, service.Health());
       std::fputs(registry.PrometheusText().c_str(), stdout);
       std::printf("# EOF\n");
+    } else if (cmd == "FAILPOINT") {
+      std::string name, spec;
+      in >> name >> spec;
+      if (name.empty()) {
+        std::printf("ERR usage: FAILPOINT <name> <spec> | FAILPOINT "
+                    "clearall\n");
+        continue;
+      }
+      if (name == "clearall") {
+        fault::FailPointRegistry::Global().ClearAll();
+        std::printf("OK fail points cleared\n");
+        continue;
+      }
+      if (spec.empty()) {
+        std::printf("ERR usage: FAILPOINT <name> <spec>\n");
+        continue;
+      }
+      std::string error;
+      if (!fault::FailPointRegistry::Global().Set(name, spec, &error)) {
+        std::printf("ERR %s\n", error.c_str());
+        continue;
+      }
+      std::printf("OK %s=%s%s\n", name.c_str(), spec.c_str(),
+                  fault::kFailPointsCompiledIn
+                      ? ""
+                      : " (sites compiled out: ESD_FAULT=OFF, no effect)");
     } else if (cmd == "TRACE") {
       std::string path;
       if (!(in >> path)) {
@@ -395,7 +465,7 @@ int main(int argc, char** argv) {
       }
     } else {
       std::printf("ERR unknown command (QUERY/INSERT/DELETE/CHECKPOINT/"
-                  "STATS/METRICS/TRACE/QUIT)\n");
+                  "STATS/METRICS/FAILPOINT/TRACE/QUIT)\n");
     }
     std::fflush(stdout);
   }

@@ -18,6 +18,12 @@ rm -rf "$LIVE"
 mkdir -p "$LIVE"
 WAL="$LIVE/wal.bin"
 
+# Optional fault injection ($ESD_FAILPOINTS syntax, e.g.
+# "snapshot.rename=1in3;wal.append=1in50"): armed in the first (killed)
+# server only, so the stream runs under faults while the restart and the
+# esd_cli replay recover clean — the parity assertions stay exact.
+SMOKE_FAILPOINTS=${SMOKE_FAILPOINTS:-}
+
 # Endless update stream over a fixed vertex range, with a CHECKPOINT every
 # 200 updates so the kill can land before, during, or after a checkpoint.
 feed() {
@@ -36,7 +42,8 @@ feed() {
   done
 }
 
-feed | "$SERVER" --dataset youtube-s --scale 0.1 --requests 50 --clients 1 \
+feed | env ESD_FAILPOINTS="$SMOKE_FAILPOINTS" \
+  "$SERVER" --dataset youtube-s --scale 0.1 --requests 50 --clients 1 \
   --threads 2 --live-dir "$LIVE" > "$DIR/server1.log" 2>&1 &
 SERVER_PID=$!
 

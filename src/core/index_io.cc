@@ -10,8 +10,29 @@
 #include <vector>
 
 #include "core/binary_format.h"
+#include "fault/failpoint.h"
 
 namespace esd::core {
+
+namespace {
+
+/// Shared by the four path-based entry points: a fired index_io.save /
+/// index_io.load fail point turns into the same typed "cannot open"-style
+/// error a real filesystem failure would produce.
+bool InjectedIoError(const char* point, const std::string& path,
+                     const char* verb, std::string* error) {
+  (void)point;  // the macro discards its argument under ESD_FAULT=OFF
+  if (const auto hit = ESD_FAILPOINT(point)) {
+    if (error != nullptr) {
+      *error = std::string("cannot ") + verb + " " + path + ": " +
+               std::strerror(hit.error_code) + " [injected]";
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 namespace {
 
@@ -270,6 +291,7 @@ bool DeserializeFrozenIndex(std::istream& in, FrozenEsdIndex* index,
 
 bool SaveIndex(const EsdIndex& index, const std::string& path,
                std::string* error) {
+  if (InjectedIoError("index_io.save", path, "write", error)) return false;
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     if (error != nullptr) *error = "cannot open " + path + " for writing";
@@ -279,6 +301,7 @@ bool SaveIndex(const EsdIndex& index, const std::string& path,
 }
 
 bool LoadIndex(const std::string& path, EsdIndex* index, std::string* error) {
+  if (InjectedIoError("index_io.load", path, "read", error)) return false;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     if (error != nullptr) *error = "cannot open " + path;
@@ -289,6 +312,7 @@ bool LoadIndex(const std::string& path, EsdIndex* index, std::string* error) {
 
 bool SaveFrozenIndex(const FrozenEsdIndex& index, const std::string& path,
                      std::string* error) {
+  if (InjectedIoError("index_io.save", path, "write", error)) return false;
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     if (error != nullptr) *error = "cannot open " + path + " for writing";
@@ -299,6 +323,7 @@ bool SaveFrozenIndex(const FrozenEsdIndex& index, const std::string& path,
 
 bool LoadFrozenIndex(const std::string& path, FrozenEsdIndex* index,
                      std::string* error) {
+  if (InjectedIoError("index_io.load", path, "read", error)) return false;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     if (error != nullptr) *error = "cannot open " + path;

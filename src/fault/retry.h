@@ -1,0 +1,57 @@
+#ifndef ESD_FAULT_RETRY_H_
+#define ESD_FAULT_RETRY_H_
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace esd::fault {
+
+/// Capped exponential backoff: attempt n (1-based) sleeps
+/// min(base_delay * 2^(n-1), max_delay) before retrying. Used by the live
+/// index for WAL append/fsync retries; delays default small because the
+/// write path holds its mutex across the retry loop.
+struct RetryPolicy {
+  int max_attempts = 4;
+  std::chrono::microseconds base_delay{1000};
+  std::chrono::microseconds max_delay{8000};
+
+  std::chrono::microseconds DelayFor(int attempt) const {
+    if (attempt < 1 || base_delay.count() <= 0) {
+      return std::chrono::microseconds{0};
+    }
+    // Shift-safe doubling: saturate at max_delay instead of overflowing.
+    std::chrono::microseconds d = base_delay;
+    for (int i = 1; i < attempt && d < max_delay; ++i) d += d;
+    return d < max_delay ? d : max_delay;
+  }
+};
+
+struct RetryOutcome {
+  bool ok = false;
+  int attempts = 0;  ///< calls made to fn (>= 1 unless max_attempts < 1)
+};
+
+/// Calls fn() (returning bool) up to policy.max_attempts times, sleeping
+/// the policy's backoff between attempts. Zero/negative base_delay retries
+/// without sleeping (the chaos tests run this way to stay deterministic).
+template <typename Fn>
+RetryOutcome RetryWithBackoff(const RetryPolicy& policy, Fn&& fn) {
+  RetryOutcome outcome;
+  const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    ++outcome.attempts;
+    if (std::forward<Fn>(fn)()) {
+      outcome.ok = true;
+      return outcome;
+    }
+    if (attempt == attempts) break;
+    const auto delay = policy.DelayFor(attempt);
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  }
+  return outcome;
+}
+
+}  // namespace esd::fault
+
+#endif  // ESD_FAULT_RETRY_H_

@@ -21,6 +21,20 @@ obs::MetricRegistry& Registry(const LiveOptions& options) {
 
 }  // namespace
 
+const char* ApplyStatusName(ApplyStatus status) {
+  switch (status) {
+    case ApplyStatus::kOk:
+      return "ok";
+    case ApplyStatus::kBounds:
+      return "bounds";
+    case ApplyStatus::kWalError:
+      return "wal-error";
+    case ApplyStatus::kDegraded:
+      return "degraded";
+  }
+  return "?";
+}
+
 std::unique_ptr<LiveEsdIndex> LiveEsdIndex::Open(const graph::Graph& bootstrap,
                                                  const LiveOptions& options,
                                                  std::string* error) {
@@ -45,6 +59,8 @@ LiveEsdIndex::LiveEsdIndex(const LiveOptions& options, RecoveredState recovered)
   manager_ = std::make_unique<EpochSnapshotManager>(
       recovered_.graph.Snapshot(), recovered_.applied_seq,
       options_.pool_threads);
+  manager_->ConfigureBreaker(options_.refreeze_breaker_threshold,
+                             options_.refreeze_breaker_cooldown);
   next_seq_ = recovered_.applied_seq + 1;
   // The recovered graph lives on inside the manager; drop the copy.
   recovered_.graph = graph::DynamicGraph();
@@ -60,7 +76,23 @@ bool LiveEsdIndex::Apply(const LiveUpdate& update, std::string* error) {
 
 size_t LiveEsdIndex::ApplyBatch(std::span<const LiveUpdate> updates,
                                 std::string* error) {
+  const ApplyResult result = ApplyBatchTyped(updates);
+  if (!result.message.empty()) SetError(error, result.message);
+  return result.processed;
+}
+
+ApplyResult LiveEsdIndex::ApplyTyped(const LiveUpdate& update) {
+  return ApplyBatchTyped(std::span<const LiveUpdate>(&update, 1));
+}
+
+void LiveEsdIndex::EnterReadOnlyLocked() {
+  read_only_ = true;
+  next_probe_ = std::chrono::steady_clock::now() + options_.heal_retry_interval;
+}
+
+ApplyResult LiveEsdIndex::ApplyBatchTyped(std::span<const LiveUpdate> updates) {
   static thread_local std::string scratch_error;
+  ApplyResult result;
   std::lock_guard<std::mutex> lock(live_mu_);
   obs::MetricRegistry& reg = Registry(options_);
   obs::Counter& c_inserts =
@@ -69,25 +101,95 @@ size_t LiveEsdIndex::ApplyBatch(std::span<const LiveUpdate> updates,
       reg.GetCounter("esd_live_deletes_total", "effective edge deletes");
   obs::Counter& c_noops =
       reg.GetCounter("esd_live_noops_total", "updates that changed nothing");
+  obs::Counter& c_retries = reg.GetCounter(
+      "esd_live_wal_retries_total",
+      "extra WAL attempts beyond the first (backoff retries that ran)");
+  obs::Counter& c_wal_failures = reg.GetCounter(
+      "esd_live_wal_append_failures_total",
+      "WAL operations that exhausted their retry budget");
+  obs::Counter& c_degraded = reg.GetCounter(
+      "esd_live_degraded_rejections_total",
+      "writes rejected because the index was read-only");
+  obs::Counter& c_heals = reg.GetCounter(
+      "esd_live_heals_total", "read-only -> ok transitions after WAL recovery");
 
-  size_t processed = 0;
+  // Read-only gate: reject instantly unless a heal probe is due. The probe
+  // gives the first WAL append below exactly one attempt (no retry storm
+  // against a dead disk); success heals the index mid-call.
+  bool probing = false;
+  if (read_only_) {
+    if (std::chrono::steady_clock::now() < next_probe_) {
+      ++degraded_rejections_;
+      c_degraded.Inc();
+      result.status = ApplyStatus::kDegraded;
+      result.message =
+          "live index is read-only (WAL unavailable); writes rejected until "
+          "a heal probe succeeds";
+      return result;
+    }
+    probing = true;
+  }
+
+  std::string append_error;
   bool appended = false;
   for (const LiveUpdate& u : updates) {
     // Bounds are enforced BEFORE the WAL append so the log never contains
     // a record recovery would interpret differently than the writer did.
     const graph::VertexId hi = std::max(u.u, u.v);
     if (u.kind == UpdateKind::kInsert && hi > options_.max_vertex_id) {
-      SetError(error, "vertex id " + std::to_string(hi) +
-                          " exceeds the live index bound " +
-                          std::to_string(options_.max_vertex_id));
-      break;
+      result.status = ApplyStatus::kBounds;
+      result.message = "vertex id " + std::to_string(hi) +
+                       " exceeds the live index bound " +
+                       std::to_string(options_.max_vertex_id);
+      break;  // earlier appends in this batch still get their fsync below
     }
     WalRecord rec;
     rec.seq = next_seq_;
     rec.kind = u.kind;
     rec.u = u.u;
     rec.v = u.v;
-    if (!wal_.Append(rec, error)) break;
+    bool ok;
+    if (probing) {
+      ok = wal_.Append(rec, &append_error);
+      if (ok) {
+        // The WAL is back: heal and let the rest of the batch (and every
+        // later write) take the normal retried path again.
+        read_only_ = false;
+        probing = false;
+        ++heals_;
+        c_heals.Inc();
+      } else {
+        next_probe_ = std::chrono::steady_clock::now() +
+                      options_.heal_retry_interval;
+        ++degraded_rejections_;
+        c_degraded.Inc();
+        result.status = ApplyStatus::kDegraded;
+        result.message = "live index heal probe failed: " + append_error;
+        return result;
+      }
+    } else {
+      const fault::RetryOutcome out =
+          fault::RetryWithBackoff(options_.wal_retry, [&] {
+            return wal_.Append(rec, &append_error);
+          });
+      if (out.attempts > 1) {
+        const uint64_t extra = static_cast<uint64_t>(out.attempts) - 1;
+        wal_retries_ += extra;
+        c_retries.Inc(extra);
+      }
+      ok = out.ok;
+    }
+    if (!ok) {
+      ++wal_append_failures_;
+      c_wal_failures.Inc();
+      EnterReadOnlyLocked();
+      result.status = ApplyStatus::kWalError;
+      result.message = "wal append failed after " +
+                       std::to_string(options_.wal_retry.max_attempts) +
+                       " attempts (" + append_error +
+                       "); live index is now read-only";
+      break;
+    }
     appended = true;
     ++next_seq_;
     const bool effective =
@@ -104,7 +206,7 @@ size_t LiveEsdIndex::ApplyBatch(std::span<const LiveUpdate> updates,
       ++noops_;
       c_noops.Inc();
     }
-    ++processed;
+    ++result.processed;
     if (options_.refreeze_every != 0 &&
         ++since_refreeze_ >= options_.refreeze_every) {
       since_refreeze_ = 0;
@@ -112,14 +214,30 @@ size_t LiveEsdIndex::ApplyBatch(std::span<const LiveUpdate> updates,
     }
   }
   // One durability point per batch: the records are acknowledged together.
+  // An fsync that fails through its retries degrades exactly like a failed
+  // append — the batch is applied in memory but its durability is not
+  // acknowledged.
   if (appended && options_.fsync_on_batch) {
     std::string sync_error;
-    if (!wal_.Sync(&sync_error)) {
-      if (error != nullptr && error->empty()) *error = sync_error;
-      return processed;
+    const fault::RetryOutcome out = fault::RetryWithBackoff(
+        options_.wal_retry, [&] { return wal_.Sync(&sync_error); });
+    if (out.attempts > 1) {
+      const uint64_t extra = static_cast<uint64_t>(out.attempts) - 1;
+      wal_retries_ += extra;
+      c_retries.Inc(extra);
+    }
+    if (!out.ok) {
+      ++wal_append_failures_;
+      c_wal_failures.Inc();
+      EnterReadOnlyLocked();
+      result.status = ApplyStatus::kWalError;
+      result.message = "wal fsync failed after " +
+                       std::to_string(options_.wal_retry.max_attempts) +
+                       " attempts (" + sync_error +
+                       "); live index is now read-only";
     }
   }
-  return processed;
+  return result;
 }
 
 bool LiveEsdIndex::Checkpoint(std::string* error) {
@@ -128,19 +246,46 @@ bool LiveEsdIndex::Checkpoint(std::string* error) {
     return SetError(error, "checkpointing is disabled: no snapshot_path");
   }
   std::lock_guard<std::mutex> lock(live_mu_);
-  // Publish first so readers never regress behind the persisted state.
-  manager_->RefreezeNow();
+  obs::Counter& c_failures = Registry(options_).GetCounter(
+      "esd_live_checkpoint_failures_total", "Checkpoint() calls that failed");
+  // Publish first so readers never regress behind the persisted state. A
+  // failed rebuild aborts the checkpoint: the previous epoch, snapshot,
+  // and WAL all stay intact, so nothing is lost and a retry is safe.
+  if (!manager_->RefreezeNow()) {
+    ++checkpoint_failures_;
+    c_failures.Inc();
+    return SetError(error,
+                    "checkpoint aborted: epoch rebuild failed (previous "
+                    "epoch stays published)");
+  }
   graph::DynamicGraph g;
   uint64_t seq = 0;
   manager_->GraphCopy(&g, &seq);
-  if (!SaveGraphSnapshot(options_.snapshot_path, g, seq, error)) return false;
+  if (!SaveGraphSnapshot(options_.snapshot_path, g, seq, error)) {
+    ++checkpoint_failures_;
+    c_failures.Inc();
+    return false;
+  }
   // Crash window here is safe: replay skips records with seq <= snapshot's.
-  if (!wal_.TruncateAll(error)) return false;
+  if (!wal_.TruncateAll(error)) {
+    ++checkpoint_failures_;
+    c_failures.Inc();
+    return false;
+  }
   ++checkpoints_;
   Registry(options_)
       .GetCounter("esd_live_checkpoints_total", "successful checkpoints")
       .Inc();
   return true;
+}
+
+obs::HealthState LiveEsdIndex::Health() const {
+  {
+    std::lock_guard<std::mutex> lock(live_mu_);
+    if (read_only_) return obs::HealthState::kReadOnly;
+  }
+  return manager_->breaker_open() ? obs::HealthState::kDegraded
+                                  : obs::HealthState::kOk;
 }
 
 LiveStats LiveEsdIndex::Stats() const {
@@ -153,7 +298,17 @@ LiveStats LiveEsdIndex::Stats() const {
     s.noops = noops_;
     s.checkpoints = checkpoints_;
     s.wal_bytes = wal_.SizeBytes();
+    s.read_only = read_only_;
+    s.wal_retries = wal_retries_;
+    s.wal_append_failures = wal_append_failures_;
+    s.degraded_rejections = degraded_rejections_;
+    s.heals = heals_;
+    s.checkpoint_failures = checkpoint_failures_;
+    s.wal_eintr_retries = wal_.eintr_retries();
   }
+  s.breaker_open = manager_->breaker_open();
+  s.refreeze_failures = manager_->refreeze_failures();
+  s.refreezes_skipped = manager_->refreezes_skipped();
   s.refreezes = manager_->epochs_published();
   const auto snap = manager_->Current();
   s.snapshot_epoch = snap->epoch;
@@ -181,6 +336,21 @@ void LiveEsdIndex::ExportMetrics() const {
       .Set(static_cast<double>(s.snapshot_epoch));
   reg.GetGauge("esd_live_applied_seq", "newest durable applied update")
       .Set(static_cast<double>(s.applied_seq));
+  reg.GetGauge("esd_live_read_only", "1 while the WAL is unavailable")
+      .Set(s.read_only ? 1 : 0);
+  reg.GetGauge("esd_live_refreeze_breaker_open",
+               "1 while the refreeze circuit breaker is open")
+      .Set(s.breaker_open ? 1 : 0);
+  reg.GetGauge("esd_live_refreeze_failures",
+               "failed epoch rebuilds since open")
+      .Set(static_cast<double>(s.refreeze_failures));
+  reg.GetGauge("esd_live_refreezes_skipped",
+               "rebuilds skipped while the breaker was open")
+      .Set(static_cast<double>(s.refreezes_skipped));
+  reg.GetGauge("esd_live_wal_eintr_retries",
+               "EINTR retries absorbed by WAL writes")
+      .Set(static_cast<double>(s.wal_eintr_retries));
+  obs::ExportHealth(reg, Health());
 }
 
 }  // namespace esd::live

@@ -1,6 +1,7 @@
 #ifndef ESD_LIVE_LIVE_INDEX_H_
 #define ESD_LIVE_LIVE_INDEX_H_
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -10,10 +11,12 @@
 #include <vector>
 
 #include "core/query_engine.h"
+#include "fault/retry.h"
 #include "graph/graph.h"
 #include "live/recovery.h"
 #include "live/snapshot.h"
 #include "live/wal.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 
 namespace esd::live {
@@ -35,6 +38,18 @@ struct LiveOptions {
   unsigned pool_threads = 2;
   /// Metrics home; null = obs::MetricRegistry::Global().
   obs::MetricRegistry* registry = nullptr;
+  /// Capped-exponential-backoff policy for failed WAL appends and fsyncs.
+  /// Exhausting it flips the index read-only (writes rejected typed,
+  /// reads keep serving the last good epoch).
+  fault::RetryPolicy wal_retry;
+  /// While read-only, how long between single-attempt heal probes. The
+  /// first write after the interval elapses tries the WAL once; success
+  /// heals the index, failure re-arms the interval.
+  std::chrono::milliseconds heal_retry_interval{50};
+  /// Refreeze circuit breaker: consecutive rebuild failures before it
+  /// opens, and how long it stays open before letting a retry through.
+  int refreeze_breaker_threshold = 3;
+  std::chrono::milliseconds refreeze_breaker_cooldown{100};
 };
 
 /// One update submitted to the live index.
@@ -42,6 +57,28 @@ struct LiveUpdate {
   UpdateKind kind = UpdateKind::kInsert;
   graph::VertexId u = 0;
   graph::VertexId v = 0;
+};
+
+/// Typed outcome of a write call — the contract degraded serving runs on.
+enum class ApplyStatus : uint8_t {
+  kOk = 0,
+  kBounds,    ///< out-of-range vertex id; nothing was logged
+  kWalError,  ///< WAL retries exhausted on THIS call; index is now read-only
+  kDegraded,  ///< index was already read-only; write rejected untried (or
+              ///< the periodic heal probe just failed)
+};
+
+const char* ApplyStatusName(ApplyStatus status);
+
+/// What a typed write call did. `processed` updates were applied to the
+/// in-memory writer index; on kOk they are also durable. On kWalError the
+/// in-memory state may be ahead of the log (the failing update and
+/// everything after it were NOT applied; with fsync_on_batch the batch's
+/// durability is not guaranteed until the next successful sync).
+struct ApplyResult {
+  size_t processed = 0;
+  ApplyStatus status = ApplyStatus::kOk;
+  std::string message;  ///< human-readable cause when status != kOk
 };
 
 /// Point-in-time counters of a live index.
@@ -58,6 +95,18 @@ struct LiveStats {
   double snapshot_age_s = 0;     ///< age of the current read snapshot
   uint64_t snapshot_lag = 0;     ///< applied_seq - snapshot_seq
   uint64_t recovered_replayed = 0;  ///< WAL records folded in at Open
+
+  // Fault posture (PR 5): retries, failures, and the degraded-mode flags.
+  bool read_only = false;            ///< WAL unavailable; writes rejected
+  bool breaker_open = false;         ///< refreeze circuit breaker is open
+  uint64_t wal_retries = 0;          ///< extra WAL attempts beyond the first
+  uint64_t wal_append_failures = 0;  ///< WAL calls that exhausted retries
+  uint64_t degraded_rejections = 0;  ///< writes bounced while read-only
+  uint64_t heals = 0;                ///< read-only -> ok transitions
+  uint64_t checkpoint_failures = 0;  ///< Checkpoint() calls that failed
+  uint64_t refreeze_failures = 0;    ///< failed epoch rebuilds
+  uint64_t refreezes_skipped = 0;    ///< rebuilds skipped by the open breaker
+  uint64_t wal_eintr_retries = 0;    ///< EINTR retries absorbed by appends
 };
 
 /// The live serving index: WAL-backed ingestion in front of an
@@ -96,21 +145,42 @@ class LiveEsdIndex {
 
   /// Applies one update durably. Returns false on WAL/filesystem errors or
   /// an out-of-bounds vertex id; graph no-ops (duplicate insert, missing
-  /// delete) return true and count in Stats().noops.
+  /// delete) return true and count in Stats().noops. Thin wrapper over
+  /// ApplyTyped for callers that only need bool + text.
   bool Apply(const LiveUpdate& update, std::string* error);
 
   /// Applies a batch with one fsync at the end (the amortized write path).
   /// Stops at the first hard error (*error set; earlier updates remain
   /// applied and durable). Returns the number of updates processed.
+  /// Wrapper over ApplyBatchTyped.
   size_t ApplyBatch(std::span<const LiveUpdate> updates, std::string* error);
+
+  /// Typed single-update write (see ApplyResult for the contract).
+  ApplyResult ApplyTyped(const LiveUpdate& update);
+
+  /// Typed batched write path, and the seat of fault hardening:
+  ///   * each WAL append runs under options.wal_retry (capped exponential
+  ///     backoff); transient failures are retried invisibly;
+  ///   * exhausting the retries flips the index read-only: this call
+  ///     returns kWalError, later writes return kDegraded instantly, and
+  ///     reads keep serving the last published epoch untouched;
+  ///   * while read-only, one single-attempt heal probe is allowed through
+  ///     every options.heal_retry_interval; the first success heals the
+  ///     index (the probing batch proceeds normally).
+  ApplyResult ApplyBatchTyped(std::span<const LiveUpdate> updates);
 
   /// Publishes a fresh epoch, persists the graph snapshot, truncates the
   /// WAL. No-op-with-error when options.snapshot_path is empty.
   bool Checkpoint(std::string* error);
 
   /// Synchronous epoch publish (also available through the background
-  /// refreeze schedule).
-  void RefreezeNow() { manager_->RefreezeNow(); }
+  /// refreeze schedule). False when the rebuild failed — the previous
+  /// epoch stays published and the circuit breaker counts the failure.
+  bool RefreezeNow() { return manager_->RefreezeNow(); }
+
+  /// Fault posture for health endpoints: read-only beats an open refreeze
+  /// breaker (degraded) beats ok.
+  obs::HealthState Health() const;
 
   /// The current read epoch; pin by holding the shared_ptr.
   std::shared_ptr<const EpochSnapshot> CurrentSnapshot() const {
@@ -143,6 +213,9 @@ class LiveEsdIndex {
  private:
   LiveEsdIndex(const LiveOptions& options, RecoveredState recovered);
 
+  /// Flips into read-only mode and arms the next heal probe. live_mu_ held.
+  void EnterReadOnlyLocked();
+
   LiveOptions options_;
   RecoveredState recovered_;
 
@@ -156,6 +229,15 @@ class LiveEsdIndex {
   uint64_t deletes_ = 0;
   uint64_t noops_ = 0;
   uint64_t checkpoints_ = 0;
+
+  // Degraded-mode state (guarded by live_mu_).
+  bool read_only_ = false;
+  std::chrono::steady_clock::time_point next_probe_{};
+  uint64_t wal_retries_ = 0;
+  uint64_t wal_append_failures_ = 0;
+  uint64_t degraded_rejections_ = 0;
+  uint64_t heals_ = 0;
+  uint64_t checkpoint_failures_ = 0;
 
   std::unique_ptr<EpochSnapshotManager> manager_;
 };

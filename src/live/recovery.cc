@@ -1,10 +1,12 @@
 #include "live/recovery.h"
 
 #include <algorithm>
+#include <cstring>
 #include <filesystem>
 #include <system_error>
 #include <utility>
 
+#include "fault/failpoint.h"
 #include "live/snapshot.h"
 #include "obs/trace.h"
 
@@ -36,6 +38,13 @@ bool Recover(const graph::Graph& bootstrap, const RecoveryOptions& options,
              RecoveredState* state, std::string* error) {
   ESD_TRACE_SPAN("live.replay");
   *state = RecoveredState{};
+  if (const auto hit = ESD_FAILPOINT("recovery.replay")) {
+    // Typed and retryable: no partial state escapes (the caller's
+    // RecoveredState is freshly reset above), so a later Recover() call
+    // starts clean.
+    return SetError(error, std::string("recovery replay failed: ") +
+                               std::strerror(hit.error_code) + " [injected]");
+  }
 
   // 1. Base state: the checkpoint snapshot if one was persisted, otherwise
   //    the caller's bootstrap graph at watermark 0.

@@ -13,7 +13,10 @@
 #include <utility>
 
 #include "core/binary_format.h"
+#include "fault/failpoint.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/posix_io.h"
 
 namespace esd::live {
 
@@ -27,36 +30,71 @@ bool SetError(std::string* error, const std::string& what) {
   return false;
 }
 
+std::mutex g_dir_fsync_handler_mu;
+SnapshotDirFsyncHandler g_dir_fsync_handler;
+
+void ReportDirFsyncFailure(const std::string& dir, int error_code) {
+  obs::MetricRegistry::Global()
+      .GetCounter("esd_snapshot_dir_fsync_failures",
+                  "post-rename directory fsyncs that failed (snapshot data "
+                  "durable; the rename may not survive a power cut)")
+      .Inc();
+  SnapshotDirFsyncHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(g_dir_fsync_handler_mu);
+    handler = g_dir_fsync_handler;
+  }
+  if (handler) handler(dir, error_code);
+}
+
 /// Durable whole-file write: tmp file in the same directory, write + fsync +
 /// close, rename over the target, fsync the directory. A crash at any point
 /// leaves either the old snapshot or the new one, never a torn mix.
 bool WriteFileAtomically(const std::string& path, const std::string& bytes,
                          std::string* error) {
   const std::string tmp = path + ".tmp";
+  if (const auto hit = ESD_FAILPOINT("snapshot.open")) {
+    return SetError(error, "cannot open " + tmp + " for writing: " +
+                               std::strerror(hit.error_code) + " [injected]");
+  }
   int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
   if (fd < 0) {
     return SetError(error, "cannot open " + tmp + " for writing: " +
                                std::strerror(errno));
   }
-  const char* data = bytes.data();
-  size_t n = bytes.size();
-  while (n > 0) {
-    const ssize_t w = ::write(fd, data, n);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      return SetError(error, "snapshot write failed: " +
-                                 std::string(std::strerror(errno)));
-    }
-    data += w;
-    n -= static_cast<size_t>(w);
+  if (const auto hit = ESD_FAILPOINT("snapshot.write")) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return SetError(error, "snapshot write failed: " +
+                               std::string(std::strerror(hit.error_code)) +
+                               " [injected]");
   }
-  const bool synced = ::fsync(fd) == 0;
+  const util::WriteResult wr = util::WriteFully(
+      fd, bytes.data(), bytes.size(), "snapshot.short_write");
+  if (!wr.ok) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return SetError(error, wr.short_write
+                               ? "snapshot write torn mid-file"
+                               : "snapshot write failed: " +
+                                     std::string(std::strerror(
+                                         wr.error_code)));
+  }
+  bool synced = ::fsync(fd) == 0;
+  if (const auto hit = ESD_FAILPOINT("snapshot.fsync")) {
+    synced = false;
+    errno = hit.error_code;
+  }
   ::close(fd);
   if (!synced) {
     ::unlink(tmp.c_str());
-    return SetError(error, "snapshot fsync failed");
+    return SetError(error, "snapshot fsync failed: " +
+                               std::string(std::strerror(errno)));
+  }
+  if (const auto hit = ESD_FAILPOINT("snapshot.rename")) {
+    ::unlink(tmp.c_str());
+    return SetError(error, "cannot rename " + tmp + " over " + path + ": " +
+                               std::strerror(hit.error_code) + " [injected]");
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     ::unlink(tmp.c_str());
@@ -67,14 +105,32 @@ bool WriteFileAtomically(const std::string& path, const std::string& bytes,
                               ? std::string(".")
                               : path.substr(0, slash == 0 ? 1 : slash);
   const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  int dir_fsync_errno = 0;
   if (dfd >= 0) {
-    ::fsync(dfd);  // make the rename itself durable; best effort
+    if (::fsync(dfd) != 0) dir_fsync_errno = errno;
     ::close(dfd);
+  } else {
+    dir_fsync_errno = errno;
+  }
+  if (const auto hit = ESD_FAILPOINT("snapshot.dir_fsync")) {
+    dir_fsync_errno = hit.error_code;
+  }
+  if (dir_fsync_errno != 0) {
+    // The snapshot bytes are durable; only the rename's directory entry is
+    // at risk. Typed warning instead of the old silent best-effort.
+    ReportDirFsyncFailure(dir, dir_fsync_errno);
   }
   return true;
 }
 
 }  // namespace
+
+SnapshotDirFsyncHandler SetSnapshotDirFsyncHandler(
+    SnapshotDirFsyncHandler handler) {
+  std::lock_guard<std::mutex> lock(g_dir_fsync_handler_mu);
+  std::swap(handler, g_dir_fsync_handler);
+  return handler;
+}
 
 bool SaveGraphSnapshot(const std::string& path, const graph::DynamicGraph& g,
                        uint64_t applied_seq, std::string* error) {
@@ -168,26 +224,60 @@ bool EpochSnapshotManager::Apply(const WalRecord& record,
   return effective;
 }
 
-void EpochSnapshotManager::RefreezeNow() {
+bool EpochSnapshotManager::RefreezeNow() {
   ESD_TRACE_SPAN("live.refreeze");
   core::FrozenEsdIndex frozen;
   uint64_t seq;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    refreeze_queued_ = false;
+    if (ESD_FAILPOINT("live.refreeze")) {
+      // Rebuild failed: the previous epoch stays published (readers keep
+      // a consistent, merely stale, image) and the breaker counts it.
+      refreeze_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (++consecutive_failures_ >= breaker_threshold_ &&
+          !breaker_open_.load(std::memory_order_relaxed)) {
+        breaker_open_.store(true, std::memory_order_relaxed);
+        breaker_opened_at_ = std::chrono::steady_clock::now();
+      }
+      return false;
+    }
     frozen = core::Freeze(writer_.Index());
     seq = applied_seq_.load(std::memory_order_relaxed);
-    refreeze_queued_ = false;
+    consecutive_failures_ = 0;
+    breaker_open_.store(false, std::memory_order_relaxed);
   }
   Publish(std::move(frozen), seq);
+  return true;
 }
 
 void EpochSnapshotManager::ScheduleRefreeze() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (refreeze_queued_) return;
+    if (breaker_open_.load(std::memory_order_relaxed)) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - breaker_opened_at_ < breaker_cooldown_) {
+        // Open breaker, still cooling down: don't burn a pool slot on a
+        // rebuild that just failed. The skip is counted so operators can
+        // see staleness accumulating.
+        refreezes_skipped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      // Cooldown elapsed: let one attempt through (the retry); re-arm the
+      // window so a failure waits out another cooldown.
+      breaker_opened_at_ = now;
+    }
     refreeze_queued_ = true;
   }
   pool_.Post([this] { RefreezeNow(); });
+}
+
+void EpochSnapshotManager::ConfigureBreaker(
+    int threshold, std::chrono::milliseconds cooldown) {
+  std::lock_guard<std::mutex> lock(mu_);
+  breaker_threshold_ = std::max(1, threshold);
+  breaker_cooldown_ = cooldown;
 }
 
 void EpochSnapshotManager::GraphCopy(graph::DynamicGraph* out,

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -52,6 +53,19 @@ bool SaveGraphSnapshot(const std::string& path, const graph::DynamicGraph& g,
 bool LoadGraphSnapshot(const std::string& path, GraphSnapshotData* out,
                        std::string* error);
 
+/// Called when the post-rename directory fsync of an atomic snapshot write
+/// fails. The snapshot data itself is durable (file fsynced before rename);
+/// only the rename's directory entry might not survive a power cut, so this
+/// is a warning, not a write failure — but it is no longer silent: the
+/// esd_snapshot_dir_fsync_failures counter on MetricRegistry::Global() is
+/// bumped and this handler (process-wide; tests install their own) runs.
+using SnapshotDirFsyncHandler =
+    std::function<void(const std::string& dir, int error_code)>;
+
+/// Installs `handler` (empty = counter-only) and returns the previous one.
+SnapshotDirFsyncHandler SetSnapshotDirFsyncHandler(
+    SnapshotDirFsyncHandler handler);
+
 /// Writer-side state of the live index: owns the maintained
 /// DynamicEsdIndex (Section V's Algorithms 4/5 keep it exact under edge
 /// updates) and periodically re-freezes it into an immutable
@@ -88,11 +102,33 @@ class EpochSnapshotManager {
              std::string* error);
 
   /// Rebuilds the frozen image from the writer index and publishes it as a
-  /// new epoch. Synchronous; serializes with Apply.
-  void RefreezeNow();
+  /// new epoch. Synchronous; serializes with Apply. Returns false when the
+  /// rebuild failed (only possible via the live.refreeze fail point today):
+  /// the previous epoch stays published and the circuit breaker counts the
+  /// failure — after `breaker_threshold` consecutive failures the breaker
+  /// opens and ScheduleRefreeze() skips work until `breaker_cooldown` has
+  /// passed, at which point the next schedule is the retry. A success
+  /// closes the breaker.
+  bool RefreezeNow();
 
-  /// Queues RefreezeNow on the pool unless one is already queued.
+  /// Queues RefreezeNow on the pool unless one is already queued or the
+  /// breaker is open and still cooling down.
   void ScheduleRefreeze();
+
+  /// Reconfigures the refreeze circuit breaker (threshold in consecutive
+  /// failures; cooldown before a retry is allowed through).
+  void ConfigureBreaker(int threshold, std::chrono::milliseconds cooldown);
+
+  bool breaker_open() const {
+    return breaker_open_.load(std::memory_order_relaxed);
+  }
+  uint64_t refreeze_failures() const {
+    return refreeze_failures_.load(std::memory_order_relaxed);
+  }
+  /// Refreezes skipped because the breaker was open.
+  uint64_t refreezes_skipped() const {
+    return refreezes_skipped_.load(std::memory_order_relaxed);
+  }
 
   /// The current epoch (pin by keeping the shared_ptr). Never null.
   std::shared_ptr<const EpochSnapshot> Current() const {
@@ -119,9 +155,19 @@ class EpochSnapshotManager {
  private:
   void Publish(core::FrozenEsdIndex frozen, uint64_t seq);
 
-  mutable std::mutex mu_;  // guards writer_ and refreeze_queued_
+  mutable std::mutex mu_;  // guards writer_ and the breaker bookkeeping
   core::DynamicEsdIndex writer_;
   bool refreeze_queued_ = false;
+
+  // Refreeze circuit breaker (guarded by mu_ except the atomics, which are
+  // also read lock-free by Stats/health reporting).
+  int breaker_threshold_ = 3;
+  std::chrono::milliseconds breaker_cooldown_{100};
+  int consecutive_failures_ = 0;
+  std::chrono::steady_clock::time_point breaker_opened_at_{};
+  std::atomic<bool> breaker_open_{false};
+  std::atomic<uint64_t> refreeze_failures_{0};
+  std::atomic<uint64_t> refreezes_skipped_{0};
 
   std::atomic<uint64_t> applied_seq_;
   std::atomic<uint64_t> epochs_published_{0};

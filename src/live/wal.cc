@@ -9,6 +9,8 @@
 #include <fstream>
 
 #include "core/binary_format.h"
+#include "fault/failpoint.h"
+#include "util/posix_io.h"
 
 namespace esd::live {
 
@@ -53,26 +55,24 @@ bool SetError(std::string* error, const std::string& what) {
   return false;
 }
 
-/// write() until done (short writes are legal for regular files under
-/// signals; loop regardless).
-bool WriteFully(int fd, const char* data, size_t n, std::string* error) {
-  while (n > 0) {
-    const ssize_t w = ::write(fd, data, n);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return SetError(error, std::string("wal write failed: ") +
-                                 std::strerror(errno));
-    }
-    data += w;
-    n -= static_cast<size_t>(w);
-  }
-  return true;
-}
-
 }  // namespace
 
 const char* UpdateKindName(UpdateKind kind) {
   return kind == UpdateKind::kInsert ? "insert" : "delete";
+}
+
+const char* WalIoStatusName(WalIoStatus status) {
+  switch (status) {
+    case WalIoStatus::kOk:
+      return "ok";
+    case WalIoStatus::kNotOpen:
+      return "not-open";
+    case WalIoStatus::kIoError:
+      return "io-error";
+    case WalIoStatus::kShortWrite:
+      return "short-write";
+  }
+  return "?";
 }
 
 const char* WalTailStatusName(WalTailStatus status) {
@@ -172,8 +172,20 @@ void WalWriter::Close() {
 
 bool WalWriter::Open(const std::string& path, std::string* error) {
   Close();
+  last_status_ = WalIoStatus::kOk;
+  last_errno_ = 0;
+  tail_dirty_ = false;
+  if (const auto hit = ESD_FAILPOINT("wal.open")) {
+    last_status_ = WalIoStatus::kIoError;
+    last_errno_ = hit.error_code;
+    return SetError(error, "cannot open wal file " + path + ": " +
+                               std::strerror(hit.error_code) +
+                               " [injected]");
+  }
   fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
   if (fd_ < 0) {
+    last_status_ = WalIoStatus::kIoError;
+    last_errno_ = errno;
     return SetError(error, "cannot open wal file " + path + ": " +
                                std::strerror(errno));
   }
@@ -187,7 +199,17 @@ bool WalWriter::Open(const std::string& path, std::string* error) {
     char header[kWalFileHeaderBytes];
     std::memcpy(header, kWalMagic, sizeof(kWalMagic));
     EncodeU32(header + 4, kWalVersion);
-    if (!WriteFully(fd_, header, sizeof(header), error) || !Sync(error)) {
+    const util::WriteResult wr = util::WriteFully(fd_, header, sizeof(header));
+    eintr_retries_ += wr.eintr_retries;
+    if (!wr.ok) {
+      last_status_ =
+          wr.short_write ? WalIoStatus::kShortWrite : WalIoStatus::kIoError;
+      last_errno_ = wr.error_code;
+      Close();
+      return SetError(error, std::string("wal header write failed: ") +
+                                 std::strerror(wr.error_code));
+    }
+    if (!Sync(error)) {
       Close();
       return false;
     }
@@ -211,34 +233,107 @@ bool WalWriter::Open(const std::string& path, std::string* error) {
   return true;
 }
 
+/// Truncate the file back to bytes_ — the last record boundary — so a
+/// retried Append() never strands torn bytes under a new record. O_APPEND
+/// writes land at the (restored) end of file, so no seek is needed.
+bool WalWriter::RepairTail(std::string* error) {
+  if (::ftruncate(fd_, static_cast<off_t>(bytes_)) != 0) {
+    tail_dirty_ = true;
+    return SetError(error, std::string("wal tail repair failed: ") +
+                               std::strerror(errno));
+  }
+  tail_dirty_ = false;
+  return true;
+}
+
 bool WalWriter::Append(const WalRecord& record, std::string* error) {
-  if (fd_ < 0) return SetError(error, "wal writer is not open");
+  if (fd_ < 0) {
+    last_status_ = WalIoStatus::kNotOpen;
+    return SetError(error, "wal writer is not open");
+  }
+  if (tail_dirty_ && !RepairTail(error)) {
+    last_status_ = WalIoStatus::kIoError;
+    last_errno_ = errno;
+    return false;
+  }
+  if (const auto hit = ESD_FAILPOINT("wal.append")) {
+    last_status_ = WalIoStatus::kIoError;
+    last_errno_ = hit.error_code;
+    return SetError(error, std::string("wal write failed: ") +
+                               std::strerror(hit.error_code) + " [injected]");
+  }
   char buf[kWalRecordHeaderBytes + kWalPayloadBytes];
   EncodePayload(record, buf + kWalRecordHeaderBytes);
   EncodeU32(buf, kWalPayloadBytes);
   EncodeU64(buf + 4, core::Fnv1a(buf + kWalRecordHeaderBytes,
                                  kWalPayloadBytes));
-  if (!WriteFully(fd_, buf, sizeof(buf), error)) return false;
+  const util::WriteResult wr =
+      util::WriteFully(fd_, buf, sizeof(buf), "wal.short_write");
+  eintr_retries_ += wr.eintr_retries;
+  if (!wr.ok) {
+    last_status_ =
+        wr.short_write ? WalIoStatus::kShortWrite : WalIoStatus::kIoError;
+    last_errno_ = wr.error_code;
+    // Drop whatever partial bytes reached the file; ignore the repair's
+    // own error string so the caller sees the root cause, but keep the
+    // dirty flag for the next attempt if it failed.
+    if (wr.bytes_written > 0 || wr.short_write) RepairTail(nullptr);
+    if (wr.short_write) {
+      return SetError(error,
+                      tail_dirty_
+                          ? "wal write torn mid-record; tail repair failed"
+                          : "wal write torn mid-record; tail repaired");
+    }
+    return SetError(error, std::string("wal write failed: ") +
+                               std::strerror(wr.error_code));
+  }
+  last_status_ = WalIoStatus::kOk;
+  last_errno_ = 0;
   bytes_ += sizeof(buf);
   return true;
 }
 
 bool WalWriter::Sync(std::string* error) {
-  if (fd_ < 0) return SetError(error, "wal writer is not open");
+  if (fd_ < 0) {
+    last_status_ = WalIoStatus::kNotOpen;
+    return SetError(error, "wal writer is not open");
+  }
+  if (const auto hit = ESD_FAILPOINT("wal.fsync")) {
+    last_status_ = WalIoStatus::kIoError;
+    last_errno_ = hit.error_code;
+    return SetError(error, std::string("wal fsync failed: ") +
+                               std::strerror(hit.error_code) + " [injected]");
+  }
   if (::fsync(fd_) != 0) {
+    last_status_ = WalIoStatus::kIoError;
+    last_errno_ = errno;
     return SetError(error,
                     std::string("wal fsync failed: ") + std::strerror(errno));
   }
+  last_status_ = WalIoStatus::kOk;
+  last_errno_ = 0;
   return true;
 }
 
 bool WalWriter::TruncateAll(std::string* error) {
-  if (fd_ < 0) return SetError(error, "wal writer is not open");
+  if (fd_ < 0) {
+    last_status_ = WalIoStatus::kNotOpen;
+    return SetError(error, "wal writer is not open");
+  }
+  if (const auto hit = ESD_FAILPOINT("wal.truncate")) {
+    last_status_ = WalIoStatus::kIoError;
+    last_errno_ = hit.error_code;
+    return SetError(error, std::string("wal truncate failed: ") +
+                               std::strerror(hit.error_code) + " [injected]");
+  }
   if (::ftruncate(fd_, kWalFileHeaderBytes) != 0) {
+    last_status_ = WalIoStatus::kIoError;
+    last_errno_ = errno;
     return SetError(error, std::string("wal truncate failed: ") +
                                std::strerror(errno));
   }
   bytes_ = kWalFileHeaderBytes;
+  tail_dirty_ = false;
   return Sync(error);
 }
 

@@ -42,6 +42,18 @@ enum class WalTailStatus : uint8_t {
 
 const char* WalTailStatusName(WalTailStatus status);
 
+/// Typed outcome of the last WalWriter operation, so the live index can
+/// distinguish retryable IO errors (ENOSPC clearing, disk coming back)
+/// from programming errors and from a short write that tore the tail.
+enum class WalIoStatus : uint8_t {
+  kOk = 0,
+  kNotOpen,      ///< operation on a closed writer
+  kIoError,      ///< write/fsync/truncate failed; errno in last_errno()
+  kShortWrite,   ///< write stalled mid-record; tail repaired (or dirty)
+};
+
+const char* WalIoStatusName(WalIoStatus status);
+
 /// Outcome of one ReplayWal pass.
 struct WalReplayResult {
   uint64_t records = 0;     ///< valid records delivered to the callback
@@ -76,6 +88,12 @@ bool ReplayWal(const std::string& path,
 /// is one write() syscall; durability is explicit via Sync() (fsync), which
 /// the live index issues once per applied batch. Not thread-safe — the
 /// live index serializes writers.
+///
+/// Failure handling: a failed or short Append() leaves no half-record
+/// behind — the writer ftruncate()s the file back to the last record
+/// boundary before returning, so a later retry appends to a clean tail.
+/// If even that repair fails the tail is flagged dirty and every
+/// subsequent Append() re-attempts the repair before writing.
 class WalWriter {
  public:
   WalWriter() = default;
@@ -90,7 +108,9 @@ class WalWriter {
   /// refused rather than clobbered.
   bool Open(const std::string& path, std::string* error);
 
-  /// Appends one record (not yet durable; call Sync()).
+  /// Appends one record (not yet durable; call Sync()). On failure the
+  /// typed cause is in last_status()/last_errno() and the file has been
+  /// truncated back to the previous record boundary (see class comment).
   bool Append(const WalRecord& record, std::string* error);
 
   /// fsync: everything appended so far survives a crash/SIGKILL.
@@ -103,12 +123,27 @@ class WalWriter {
   /// Current file size in bytes (header included).
   uint64_t SizeBytes() const { return bytes_; }
 
+  /// Typed cause of the most recent operation's outcome.
+  WalIoStatus last_status() const { return last_status_; }
+  /// errno of the most recent kIoError (0 otherwise).
+  int last_errno() const { return last_errno_; }
+  /// Cumulative EINTR retries absorbed by append loops on this writer.
+  uint64_t eintr_retries() const { return eintr_retries_; }
+  /// True while a failed append's torn bytes could not be truncated away.
+  bool tail_dirty() const { return tail_dirty_; }
+
   bool is_open() const { return fd_ >= 0; }
   void Close();
 
  private:
+  bool RepairTail(std::string* error);
+
   int fd_ = -1;
   uint64_t bytes_ = 0;
+  WalIoStatus last_status_ = WalIoStatus::kOk;
+  int last_errno_ = 0;
+  uint64_t eintr_retries_ = 0;
+  bool tail_dirty_ = false;
 };
 
 }  // namespace esd::live

@@ -1,0 +1,54 @@
+#ifndef ESD_OBS_HEALTH_H_
+#define ESD_OBS_HEALTH_H_
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace esd::obs {
+
+/// Shared health vocabulary of the serving stack (DESIGN.md §10):
+///   kOk        — full service: reads and durable writes.
+///   kDegraded  — serving continues but something is being retried behind
+///                a breaker (e.g. refreeze failures: readers fall behind
+///                the writer, staleness grows).
+///   kReadOnly  — writes are rejected with a typed error; reads keep being
+///                served from the last good epoch (e.g. WAL retries
+///                exhausted). Heals back to kOk once a probe write lands.
+/// Ordered by severity so components combine with WorseHealth().
+enum class HealthState : uint8_t { kOk = 0, kDegraded = 1, kReadOnly = 2 };
+
+inline const char* HealthStateName(HealthState s) {
+  switch (s) {
+    case HealthState::kOk:
+      return "ok";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kReadOnly:
+      return "read-only";
+  }
+  return "?";
+}
+
+inline HealthState WorseHealth(HealthState a, HealthState b) {
+  return static_cast<uint8_t>(a) >= static_cast<uint8_t>(b) ? a : b;
+}
+
+/// Pushes the esd_health_* gauges: the numeric state (0 ok / 1 degraded /
+/// 2 read-only) plus one 0/1 indicator per state, the Prometheus-friendly
+/// shape for alerting rules.
+inline void ExportHealth(MetricRegistry& registry, HealthState s) {
+  registry.GetGauge("esd_health_state",
+                    "serving health: 0 ok, 1 degraded, 2 read-only")
+      .Set(static_cast<double>(static_cast<uint8_t>(s)));
+  registry.GetGauge("esd_health_ok", "1 when health is ok")
+      .Set(s == HealthState::kOk ? 1 : 0);
+  registry.GetGauge("esd_health_degraded", "1 when health is degraded")
+      .Set(s == HealthState::kDegraded ? 1 : 0);
+  registry.GetGauge("esd_health_read_only", "1 when health is read-only")
+      .Set(s == HealthState::kReadOnly ? 1 : 0);
+}
+
+}  // namespace esd::obs
+
+#endif  // ESD_OBS_HEALTH_H_

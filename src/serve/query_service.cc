@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "fault/failpoint.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 
@@ -28,6 +29,7 @@ EsdQueryService::EsdQueryService(const core::EsdQueryEngine& engine,
                        : options.num_threads),
       max_queue_(std::max<size_t>(1, options.max_queue)),
       max_batch_(std::max<size_t>(1, options.max_batch)),
+      health_source_(options.health_source),
       metrics_(options.registry),
       pool_(num_threads_) {
   if (!options.start_paused) Start();
@@ -43,6 +45,7 @@ EsdQueryService::EsdQueryService(EngineProvider provider,
                        : options.num_threads),
       max_queue_(std::max<size_t>(1, options.max_queue)),
       max_batch_(std::max<size_t>(1, options.max_batch)),
+      health_source_(options.health_source),
       metrics_(options.registry),
       pool_(num_threads_) {
   if (!options.start_paused) Start();
@@ -73,12 +76,16 @@ std::future<QueryResponse> EsdQueryService::Submit(
   std::future<QueryResponse> future = p.promise.get_future();
 
   ResponseStatus bounce = ResponseStatus::kOk;
+  // Admission fail point: a fired error action sheds this request exactly
+  // like a full queue would (same typed status, same metrics), letting
+  // tests and drills exercise the shedding path under any load.
+  const bool shed_injected = ESD_FAILPOINT("serve.admission").fired;
   size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) {
       bounce = ResponseStatus::kShutdown;
-    } else if (queue_.size() >= max_queue_) {
+    } else if (shed_injected || queue_.size() >= max_queue_) {
       bounce = ResponseStatus::kRejectedQueueFull;
     } else {
       queue_.push_back(std::move(p));
@@ -147,8 +154,21 @@ void EsdQueryService::WorkerLoop() {
   }
 }
 
+obs::HealthState EsdQueryService::Health() const {
+  obs::HealthState own = obs::HealthState::kOk;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) own = obs::HealthState::kReadOnly;
+  }
+  if (health_source_) return obs::WorseHealth(own, health_source_());
+  return own;
+}
+
 void EsdQueryService::ServeBatch(std::vector<Pending> batch) {
   ESD_TRACE_SPAN("serve.batch");
+  // Worker-stall fail point: a delay() spec here holds the whole batch
+  // after pickup, the knob the deadline-expiry and queue-full tests turn.
+  (void)ESD_FAILPOINT("serve.worker");
   // Pin the serving engine once per batch. In provider mode the shared_ptr
   // keeps this batch's epoch alive even while the writer publishes newer
   // ones (RCU read-side); in static mode the engine outlives the service

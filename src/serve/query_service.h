@@ -15,6 +15,7 @@
 
 #include "core/frozen_index.h"
 #include "core/query_engine.h"
+#include "obs/health.h"
 #include "serve/metrics.h"
 #include "util/thread_pool.h"
 
@@ -88,6 +89,10 @@ class EsdQueryService {
     /// from zero. esd_server passes &obs::MetricRegistry::Global() so the
     /// METRICS command scrapes serving metrics alongside everything else.
     obs::MetricRegistry* registry = nullptr;
+    /// Upstream health feed folded into Health() (e.g. the LiveEsdIndex's
+    /// degraded/read-only state). Called from any thread; empty = the
+    /// service reports only its own state.
+    std::function<obs::HealthState()> health_source;
   };
 
   /// Returns the engine a batch should serve from. Called once per batch
@@ -127,6 +132,11 @@ class EsdQueryService {
   const ServiceMetrics& metrics() const { return metrics_; }
   unsigned num_threads() const { return num_threads_; }
 
+  /// Combined serving health: the worse of this service's own state (a
+  /// stopped service is read-only — admitted work still drains but nothing
+  /// new is accepted) and the Options::health_source feed.
+  obs::HealthState Health() const;
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -151,11 +161,12 @@ class EsdQueryService {
   const unsigned num_threads_;
   const size_t max_queue_;
   const size_t max_batch_;
+  const std::function<obs::HealthState()> health_source_;
 
   ServiceMetrics metrics_;
   util::ThreadPool pool_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable queue_ready_;
   std::deque<Pending> queue_;
   bool stop_ = false;

@@ -1,0 +1,74 @@
+#include "util/posix_io.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "fault/failpoint.h"
+
+namespace esd::util {
+
+namespace {
+
+/// Bounded so a signal storm (or an EINTR-injecting fail point left on
+/// forever) degrades into a typed error instead of an unkillable loop.
+constexpr uint64_t kMaxEintrRetries = 1024;
+constexpr int kMaxZeroProgressWrites = 8;
+
+}  // namespace
+
+WriteResult WriteFully(int fd, const char* data, size_t n,
+                       const char* short_write_failpoint) {
+  WriteResult result;
+#if ESD_FAULT_ENABLED
+  if (short_write_failpoint != nullptr) {
+    if (const fault::FaultHit hit = fault::Evaluate(short_write_failpoint);
+        hit.fired) {
+      // Simulate the kernel accepting only part of the buffer: the torn
+      // bytes genuinely land on disk so repair paths are exercised.
+      size_t want = n / 2;
+      while (want > 0) {
+        const ssize_t w = ::write(fd, data, want);
+        if (w <= 0) break;
+        data += w;
+        want -= static_cast<size_t>(w);
+        result.bytes_written += static_cast<size_t>(w);
+      }
+      result.short_write = true;
+      return result;
+    }
+  }
+#else
+  (void)short_write_failpoint;
+#endif
+  int zero_streak = 0;
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) {
+        if (++result.eintr_retries > kMaxEintrRetries) {
+          result.error_code = EINTR;
+          return result;
+        }
+        continue;
+      }
+      result.error_code = errno;
+      return result;
+    }
+    if (w == 0) {
+      if (++zero_streak >= kMaxZeroProgressWrites) {
+        result.short_write = true;
+        return result;
+      }
+      continue;
+    }
+    zero_streak = 0;
+    data += w;
+    n -= static_cast<size_t>(w);
+    result.bytes_written += static_cast<size_t>(w);
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace esd::util

@@ -1,0 +1,37 @@
+#ifndef ESD_UTIL_POSIX_IO_H_
+#define ESD_UTIL_POSIX_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace esd::util {
+
+/// Outcome of one WriteFully call, typed so callers can distinguish a
+/// plain IO error (errno in error_code) from a short write that made no
+/// progress (short_write, no errno — the kernel accepted part of the
+/// buffer and then stalled, or a wal.short_write-style fail point
+/// simulated exactly that).
+struct WriteResult {
+  bool ok = false;
+  bool short_write = false;
+  int error_code = 0;        ///< errno of the failing write (0 otherwise)
+  uint64_t eintr_retries = 0;
+  size_t bytes_written = 0;  ///< bytes actually handed to the kernel
+
+  explicit operator bool() const { return ok; }
+};
+
+/// write() until every byte is accepted. EINTR is retried explicitly (and
+/// counted; a pathological signal storm gives up as an EINTR error after a
+/// large bounded number of retries). A write() that repeatedly returns
+/// zero progress gives up with the typed short_write outcome instead of
+/// spinning. `short_write_failpoint`, when non-null, names an
+/// ESD_FAILPOINT evaluated on entry; if it fires, half the buffer is
+/// written for real and the call returns short_write — the torn-bytes
+/// case durable-log writers must repair (see WalWriter::Append).
+WriteResult WriteFully(int fd, const char* data, size_t n,
+                       const char* short_write_failpoint = nullptr);
+
+}  // namespace esd::util
+
+#endif  // ESD_UTIL_POSIX_IO_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "fault/failpoint.h"
 #include "obs/trace.h"
 
 namespace esd::util {
@@ -76,6 +77,10 @@ void ThreadPool::ParallelForChunked(
 }
 
 void ThreadPool::Post(std::function<void()> task) {
+  // Scheduling-edge fail point: a delay() spec here stalls the posting
+  // thread (admission jitter); error actions are ignored — Post is
+  // fire-and-forget and never drops work.
+  (void)ESD_FAILPOINT("pool.post");
   if (workers_.empty()) {  // 1-thread pool: no worker will ever drain it
     task();
     return;
@@ -121,6 +126,9 @@ void ThreadPool::WorkerLoop() {
       }
     }
     if (task) {
+      // A delay() spec here simulates a stalled worker — the knob the
+      // queue-full/deadline-expiry service tests turn.
+      (void)ESD_FAILPOINT("pool.task");
       task();
       continue;
     }
