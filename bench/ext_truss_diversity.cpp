@@ -1,0 +1,64 @@
+// Extension experiment: truss-cohesion structural diversity through the
+// scorer plugin seam. The truss scorer keeps the ESD decomposition of the
+// edge ego-network into components, but values each component by its
+// k-truss cohesion (max trussness of its edges) instead of its size, so
+// score_tau counts the contact circles that are at least tau-cohesive.
+// Measures the frozen-index build + query cost of the plugin path on each
+// dataset and reports how differently truss diversity and plain ESD rank
+// the same edges.
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/frozen_index.h"
+#include "core/index_builder.h"
+#include "core/scorer.h"
+#include "graph/graph.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace esd;
+
+  const uint32_t k = 20, tau = 2;
+  std::printf("top-%u truss-cohesion diversity (tau=%u)\n\n", k, tau);
+  std::printf("%-15s %12s %12s %12s %18s\n", "dataset", "build (ms)",
+              "query (us)", "top score", "overlap with ESD-20");
+  for (const gen::Dataset& d : bench::LoadAll()) {
+    util::Timer t;
+    const core::FrozenEsdIndex truss =
+        core::BuildFrozenIndex(d.graph, core::TrussScorer());
+    const double build_ms = t.ElapsedMillis();
+    const double query_us =
+        bench::TimeMean([&] { truss.Query(k, tau); }) * 1e6;
+    const core::TopKResult top = truss.Query(k, tau);
+
+    // The same top-k under the paper's ESD definition; count the overlap.
+    const core::FrozenEsdIndex esd =
+        core::BuildFrozenIndex(d.graph, core::EsdScorer());
+    std::set<std::pair<graph::VertexId, graph::VertexId>> esd_top;
+    for (const core::ScoredEdge& e : esd.Query(k, tau)) {
+      esd_top.emplace(e.edge.u, e.edge.v);
+    }
+    uint32_t overlap = 0;
+    for (const core::ScoredEdge& e : top) {
+      overlap += esd_top.count({e.edge.u, e.edge.v});
+    }
+
+    std::printf("%-15s %12.1f %12.2f %12u %15u/%u\n", d.name.c_str(),
+                build_ms, query_us, top.empty() ? 0 : top.front().score,
+                overlap, k);
+    bench::EmitJson("ext_truss_diversity", "frozen", d.name, "topk",
+                    build_ms, truss.MemoryBytes(), "\"scorer\":\"truss\"");
+  }
+  std::printf(
+      "\nReading: truss diversity demotes edges whose many ego components\n"
+      "are loose paths and stars, surfacing ties whose contact circles are\n"
+      "individually dense — a cohesion-weighted refinement of ESD running\n"
+      "on the identical frozen/H-list serving machinery.\n");
+  bench::MaybeWriteTrace("ext_truss_diversity");
+  return 0;
+}

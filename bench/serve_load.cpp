@@ -11,6 +11,10 @@
 //                 reports read tails plus snapshot staleness (seq lag and
 //                 epoch age) while epochs hot-swap under the readers.
 //
+// ESD_SCORER=esd|truss|egobw selects the diversity scorer the whole run
+// serves (default esd); every JSON line carries a "scorer" column so
+// harness scripts can compare scorers on identical workloads.
+//
 // Reports throughput plus p50/p95/p99 end-to-end latency and the per-stage
 // (queue wait vs execute) tails from the serve metrics layer, as human
 // tables and as the machine-readable JSON lines bench_common.h emits.
@@ -30,6 +34,7 @@
 #include "bench/bench_common.h"
 #include "core/frozen_index.h"
 #include "core/index_builder.h"
+#include "core/scorer.h"
 #include "live/live_index.h"
 #include "serve/metrics.h"
 #include "serve/query_service.h"
@@ -38,7 +43,12 @@
 
 namespace {
 
+using esd::core::DiversityScorer;
 using esd::core::FrozenEsdIndex;
+
+/// Scorer of this run (ESD_SCORER env; default esd). Set once in main
+/// before any worker starts; read-only afterwards.
+const DiversityScorer* g_scorer = &esd::core::EsdScorer();
 using esd::serve::EsdQueryService;
 using esd::serve::MetricsSnapshot;
 using esd::serve::QueryRequest;
@@ -101,11 +111,12 @@ void EmitServeJson(const std::string& dataset, const std::string& op,
                    double wall_ms, uint64_t bytes,
                    const MetricsSnapshot& snap, double qps) {
   std::printf(
-      "{\"bench\":\"serve_load\",\"engine\":\"frozen\",\"dataset\":\"%s\","
+      "{\"bench\":\"serve_load\",\"engine\":\"frozen\",\"scorer\":\"%s\","
+      "\"dataset\":\"%s\","
       "\"op\":\"%s\",\"wall_ms\":%.6f,\"bytes\":%llu,\"qps\":%.1f,%s,"
       "\"queue_p50_us\":%.1f,\"exec_p50_us\":%.1f,\"mean_us\":%.1f}\n",
-      dataset.c_str(), op.c_str(), wall_ms,
-      static_cast<unsigned long long>(bytes), qps,
+      std::string(g_scorer->Name()).c_str(), dataset.c_str(), op.c_str(),
+      wall_ms, static_cast<unsigned long long>(bytes), qps,
       esd::serve::MetricsJsonFields(snap).c_str(), snap.queue_wait.p50_us,
       snap.execute.p50_us, snap.total.mean_us);
 }
@@ -207,6 +218,7 @@ bool RunLiveMixed(const esd::graph::Graph& g, const Workload& mix,
   lopts.wal_path = (dir / "wal.bin").string();
   lopts.snapshot_path = (dir / "snapshot.bin").string();
   lopts.refreeze_every = 256;
+  lopts.scorer = g_scorer->Kind();
   std::string error;
   std::unique_ptr<esd::live::LiveEsdIndex> live =
       esd::live::LiveEsdIndex::Open(g, lopts, &error);
@@ -308,11 +320,21 @@ bool RunLiveMixed(const esd::graph::Graph& g, const Workload& mix,
 int main() {
   using namespace esd;
 
+  if (const char* env = std::getenv("ESD_SCORER")) {
+    const core::DiversityScorer* s = core::FindScorer(env);
+    if (s == nullptr) {
+      std::fprintf(stderr, "unknown ESD_SCORER '%s'\n", env);
+      return 2;
+    }
+    g_scorer = s;
+  }
+
   const gen::Dataset d = bench::Load("pokec-s");
-  std::printf("dataset %s: n=%u m=%u\n", d.name.c_str(),
-              d.graph.NumVertices(), d.graph.NumEdges());
+  std::printf("dataset %s: n=%u m=%u (scorer %s)\n", d.name.c_str(),
+              d.graph.NumVertices(), d.graph.NumEdges(),
+              std::string(g_scorer->Name()).c_str());
   util::Timer build;
-  const FrozenEsdIndex frozen = core::BuildFrozenIndex(d.graph);
+  const FrozenEsdIndex frozen = core::BuildFrozenIndex(d.graph, *g_scorer);
   std::printf("frozen index build: %.1f ms, %.2f MiB\n\n",
               build.ElapsedMillis(),
               static_cast<double>(frozen.MemoryBytes()) / (1024.0 * 1024.0));
@@ -378,11 +400,13 @@ int main() {
           static_cast<unsigned long long>(live.epochs), live.lag_mean,
           static_cast<unsigned long long>(live.lag_max), live.age_max_s);
       std::printf(
-          "{\"bench\":\"serve_load\",\"engine\":\"live\",\"dataset\":\"%s\","
+          "{\"bench\":\"serve_load\",\"engine\":\"live\",\"scorer\":\"%s\","
+          "\"dataset\":\"%s\","
           "\"op\":\"live-mixed\",\"wall_ms\":%.6f,\"qps\":%.1f,%s,"
           "\"write_rate\":%.1f,\"updates\":%llu,\"epochs\":%llu,"
           "\"lag_mean\":%.2f,\"lag_max\":%llu,\"age_max_s\":%.4f}\n",
-          d.name.c_str(), live.wall_ms, live.qps,
+          std::string(g_scorer->Name()).c_str(), d.name.c_str(),
+          live.wall_ms, live.qps,
           serve::MetricsJsonFields(live.snap).c_str(),
           live.write_rate_achieved,
           static_cast<unsigned long long>(live.updates_applied),

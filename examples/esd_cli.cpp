@@ -10,8 +10,14 @@
 // Engines: treap (the paper's index), frozen (read-optimized serving
 // image), dynamic (maintained index), online / online-mindeg (index-free
 // BFS). --online is a shorthand for --engine online. --save-index writes
-// the v1 record format for treap and the v2 frozen format for frozen;
+// the record format for treap and the frozen array image for frozen;
 // --load-index accepts either file version for either engine.
+//
+// --scorer picks the diversity definition the engine ranks by: esd (the
+// paper's component-count score, default), truss (k-truss cohesion of the
+// ego components), or egobw (top-k ego-betweenness). Saved index files are
+// stamped with the scorer id; loading a file built for a different scorer
+// is a typed error, never silently wrong answers.
 //
 // With --live-dir the tool first recovers the graph a live server left in
 // that directory (checkpoint snapshot + WAL suffix, read-only — torn tails
@@ -56,12 +62,17 @@ void Usage() {
                "esd_cli %s\n"
                "usage: esd_cli (--file <edge_list> | --dataset <name>)\n"
                "               [--scale S] [--k K] [--tau T] [--engine E]\n"
+               "               [--scorer esd|truss|egobw]\n"
                "               [--online] [--stats] [--metrics]\n"
                "               [--save-index P] [--load-index P]\n"
                "               [--live-dir DIR]\n"
                "engines:",
                esd::kVersionString);
   for (const std::string& name : esd::core::QueryEngineNames()) {
+    std::fprintf(stderr, " %s", name.c_str());
+  }
+  std::fprintf(stderr, "\nscorers:");
+  for (const std::string& name : esd::core::ScorerNames()) {
     std::fprintf(stderr, " %s", name.c_str());
   }
   std::fprintf(stderr, "\ndatasets:");
@@ -78,6 +89,7 @@ int main(int argc, char** argv) {
 
   std::string file, dataset, save_index, load_index, live_dir;
   std::string engine_name = "treap";
+  std::string scorer_name = "esd";
   double scale = 1.0;
   uint32_t k = 10, tau = 2;
   bool stats = false;
@@ -103,6 +115,8 @@ int main(int argc, char** argv) {
       tau = static_cast<uint32_t>(std::atoi(next()));
     } else if (arg == "--engine") {
       engine_name = next();
+    } else if (arg == "--scorer") {
+      scorer_name = next();
     } else if (arg == "--online") {
       engine_name = "online";
     } else if (arg == "--stats") {
@@ -122,6 +136,16 @@ int main(int argc, char** argv) {
   }
   if (file.empty() == dataset.empty()) {  // exactly one source required
     Usage();
+    return 2;
+  }
+  const core::DiversityScorer* scorer = core::FindScorer(scorer_name);
+  if (scorer == nullptr) {
+    std::fprintf(stderr, "error: unknown scorer '%s' (expected one of:",
+                 scorer_name.c_str());
+    for (const std::string& name : core::ScorerNames()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, ")\n");
     return 2;
   }
 
@@ -150,6 +174,7 @@ int main(int argc, char** argv) {
     options.wal_path = live_dir + "/wal.bin";
     options.snapshot_path = live_dir + "/snapshot.bin";
     options.truncate_torn_tail = false;  // read-only inspection
+    options.expected_scorer = scorer->Kind();
     live::RecoveredState state;
     std::string error;
     if (!live::Recover(g, options, &state, &error)) {
@@ -186,18 +211,22 @@ int main(int argc, char** argv) {
   util::Timer timer;
   std::unique_ptr<core::EsdQueryEngine> engine;
   if (!load_index.empty()) {
-    std::string error;
+    // Checked loads: a file stamped for a different scorer is refused.
     if (engine_name == "treap") {
       core::EsdIndex index;
-      if (!core::LoadIndex(load_index, &index, &error)) {
-        std::fprintf(stderr, "error: %s\n", error.c_str());
+      const core::IndexIoResult res =
+          core::LoadIndex(load_index, &index, scorer->Kind());
+      if (!res) {
+        std::fprintf(stderr, "error: %s\n", res.message.c_str());
         return 1;
       }
       engine = std::make_unique<core::EsdIndex>(std::move(index));
     } else if (engine_name == "frozen") {
       core::FrozenEsdIndex index;
-      if (!core::LoadFrozenIndex(load_index, &index, &error)) {
-        std::fprintf(stderr, "error: %s\n", error.c_str());
+      const core::IndexIoResult res =
+          core::LoadFrozenIndex(load_index, &index, scorer->Kind());
+      if (!res) {
+        std::fprintf(stderr, "error: %s\n", res.message.c_str());
         return 1;
       }
       engine = std::make_unique<core::FrozenEsdIndex>(std::move(index));
@@ -210,13 +239,13 @@ int main(int argc, char** argv) {
                 load_index.c_str(), timer.ElapsedMillis());
   } else {
     std::string error;
-    engine = core::BuildQueryEngine(g, engine_name, &error);
+    engine = core::BuildQueryEngine(g, engine_name, *scorer, &error);
     if (engine == nullptr) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
       return 2;
     }
-    std::printf("%s engine build: %.1f ms\n", engine_name.c_str(),
-                timer.ElapsedMillis());
+    std::printf("%s engine build (%s scorer): %.1f ms\n", engine_name.c_str(),
+                std::string(scorer->Name()).c_str(), timer.ElapsedMillis());
   }
   std::printf("engine memory: %.2f MiB\n",
               static_cast<double>(engine->MemoryBytes()) / (1024.0 * 1024.0));
@@ -224,8 +253,9 @@ int main(int argc, char** argv) {
   if (!save_index.empty()) {
     std::string error;
     bool ok;
-    // The file version follows the engine: treap writes v1 records, frozen
-    // writes the v2 array image (either loads back into either engine).
+    // The file version follows the engine: treap writes records, frozen
+    // writes the array image (either loads back into either engine); both
+    // carry the engine's scorer id.
     if (auto* treap = dynamic_cast<const core::EsdIndex*>(engine.get())) {
       ok = core::SaveIndex(*treap, save_index, &error);
     } else if (auto* frozen =
@@ -248,7 +278,8 @@ int main(int argc, char** argv) {
   std::printf("%s query: %.3f ms\n", engine_name.c_str(),
               timer.ElapsedMillis());
 
-  std::printf("\ntop-%u edges (tau=%u):\n", k, tau);
+  std::printf("\ntop-%u edges (tau=%u, scorer=%s):\n", k, tau,
+              std::string(scorer->Name()).c_str());
   std::printf("%-6s %-14s %s\n", "rank", "edge", "score");
   for (size_t i = 0; i < result.size(); ++i) {
     std::printf("%-6zu (%u,%u)%-6s %u\n", i + 1, result[i].edge.u,

@@ -29,8 +29,13 @@
 // Usage:
 //   esd_server --dataset pokec-s [--scale 0.2] [--threads 4] [--clients 8]
 //              [--requests 5000] [--max-queue 1024] [--deadline-us 0]
-//              [--engine frozen] [--live-dir <dir>] [--refreeze-every N]
+//              [--engine frozen] [--scorer esd|truss|egobw]
+//              [--live-dir <dir>] [--refreeze-every N]
 //   esd_server --file <edge_list> [--load-index <path>] ...
+//
+// --scorer serves a different diversity definition on the same stack: the
+// WAL, snapshot, and index files are stamped with the scorer id, so a
+// --live-dir or --load-index written under another scorer is refused.
 //
 // Examples:
 //   build/examples/esd_server --dataset pokec-s --requests 2000
@@ -73,6 +78,7 @@ void Usage() {
                "esd_server %s\n"
                "usage: esd_server (--file <edge_list> | --dataset <name>)\n"
                "                  [--scale S] [--engine E] [--threads N]\n"
+               "                  [--scorer esd|truss|egobw]\n"
                "                  [--clients C] [--requests R]\n"
                "                  [--max-queue Q] [--deadline-us D]\n"
                "                  [--load-index P]\n"
@@ -100,6 +106,7 @@ int main(int argc, char** argv) {
   using namespace esd;
 
   std::string file, dataset, load_index, live_dir, engine_name = "frozen";
+  std::string scorer_name = "esd";
   double scale = 1.0;
   unsigned threads = 0;  // 0 = ThreadPool::DefaultThreadCount()
   unsigned clients = 4;
@@ -124,6 +131,8 @@ int main(int argc, char** argv) {
       scale = std::atof(next());
     } else if (arg == "--engine") {
       engine_name = next();
+    } else if (arg == "--scorer") {
+      scorer_name = next();
     } else if (arg == "--threads") {
       threads = static_cast<unsigned>(std::atoi(next()));
     } else if (arg == "--clients") {
@@ -150,6 +159,16 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (clients == 0) clients = 1;
+  const core::DiversityScorer* scorer = core::FindScorer(scorer_name);
+  if (scorer == nullptr) {
+    std::fprintf(stderr, "error: unknown scorer '%s' (expected one of:",
+                 scorer_name.c_str());
+    for (const std::string& name : core::ScorerNames()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
 
   // Surface injected faults up front: an operator (or the chaos smoke
   // script) should be able to see from the log which points are armed.
@@ -192,6 +211,7 @@ int main(int argc, char** argv) {
     live_options.snapshot_path =
         (std::filesystem::path(live_dir) / "snapshot.bin").string();
     live_options.refreeze_every = refreeze_every;
+    live_options.scorer = scorer->Kind();
     live_options.registry = &obs::MetricRegistry::Global();
     std::string error;
     live = live::LiveEsdIndex::Open(g, live_options, &error);
@@ -209,10 +229,11 @@ int main(int argc, char** argv) {
         live::WalTailStatusName(rec.wal.tail),
         static_cast<unsigned long long>(live->Stats().applied_seq));
   } else if (!load_index.empty()) {
-    std::string error;
     core::FrozenEsdIndex index;
-    if (!core::LoadFrozenIndex(load_index, &index, &error)) {
-      std::fprintf(stderr, "error: %s\n", error.c_str());
+    const core::IndexIoResult res =
+        core::LoadFrozenIndex(load_index, &index, scorer->Kind());
+    if (!res) {
+      std::fprintf(stderr, "error: %s\n", res.message.c_str());
       return 1;
     }
     engine = std::make_unique<core::FrozenEsdIndex>(std::move(index));
@@ -221,13 +242,13 @@ int main(int argc, char** argv) {
                 load_index.c_str(), timer.ElapsedMillis());
   } else {
     std::string error;
-    engine = core::BuildQueryEngine(g, engine_name, &error);
+    engine = core::BuildQueryEngine(g, engine_name, *scorer, &error);
     if (engine == nullptr) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
       return 2;
     }
-    std::printf("%s engine build: %.1f ms\n", engine_name.c_str(),
-                timer.ElapsedMillis());
+    std::printf("%s engine build (%s scorer): %.1f ms\n", engine_name.c_str(),
+                std::string(scorer->Name()).c_str(), timer.ElapsedMillis());
   }
 
   serve::EsdQueryService::Options opts;
@@ -306,9 +327,10 @@ int main(int argc, char** argv) {
               snap.total.p50_us, snap.total.p95_us, snap.total.p99_us);
   std::printf("  queue-wait p95:       %.1f us\n", snap.queue_wait.p95_us);
   std::printf("  execute p95:          %.1f us\n", snap.execute.p95_us);
-  std::printf("{\"bench\":\"esd_server\",\"engine\":\"%s\",\"dataset\":\"%s\","
+  std::printf("{\"bench\":\"esd_server\",\"engine\":\"%s\",\"scorer\":\"%s\","
+              "\"dataset\":\"%s\","
               "\"op\":\"burst\",\"wall_ms\":%.6f,\"bytes\":%llu,%s}\n",
-              engine_name.c_str(),
+              engine_name.c_str(), std::string(scorer->Name()).c_str(),
               (dataset.empty() ? file : dataset).c_str(), wall_s * 1e3,
               static_cast<unsigned long long>(
                   live != nullptr ? live->CurrentEngine()->MemoryBytes()
@@ -410,6 +432,7 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(ls.heals),
                     ls.breaker_open ? 1 : 0);
       }
+      std::printf(" scorer=%s", std::string(scorer->Name()).c_str());
       std::printf(" health=%s", obs::HealthStateName(service.Health()));
       std::printf("\n");
     } else if (cmd == "METRICS") {

@@ -38,8 +38,16 @@ obs::Counter& TouchedCounter() {
 
 DynamicEsdIndex::DynamicEsdIndex(const graph::Graph& g,
                                  DeletionStrategy strategy)
-    : graph_(g), strategy_(strategy) {
-  index_ = BuildIndexClique(g, &dsu_);
+    : DynamicEsdIndex(g, EsdScorer(), strategy) {}
+
+DynamicEsdIndex::DynamicEsdIndex(const graph::Graph& g,
+                                 const DiversityScorer& scorer,
+                                 DeletionStrategy strategy)
+    : graph_(g),
+      scorer_(&scorer),
+      use_dsu_(scorer.Kind() == ScorerKind::kEsd),
+      strategy_(strategy) {
+  index_ = use_dsu_ ? BuildIndexClique(g, &dsu_) : BuildIndex(g, scorer);
   ids_.Reserve(g.NumEdges());
   for (EdgeId e = 0; e < g.NumEdges(); ++e) {
     const Edge& uv = g.EdgeAt(e);
@@ -53,13 +61,19 @@ EdgeId DynamicEsdIndex::IdOf(VertexId u, VertexId v) const {
   return *e;
 }
 
+std::vector<uint32_t> DynamicEsdIndex::ValuesFor(EdgeId e) {
+  if (use_dsu_) return dsu_[e].ComponentSizes();
+  const Edge uv = index_.EdgeAt(e);
+  return scorer_->EdgeValues(graph_, uv.u, uv.v);
+}
+
 void DynamicEsdIndex::RefreshScores(EdgeId e) {
   if (batch_mode_) {
     const Edge uv = index_.EdgeAt(e);
     pending_refresh_.Insert(Key(uv.u, uv.v));
     return;
   }
-  index_.SetEdgeSizes(e, dsu_[e].ComponentSizes());
+  index_.SetEdgeSizes(e, ValuesFor(e));
 }
 
 size_t DynamicEsdIndex::ApplyBatch(std::span<const EdgeUpdate> updates) {
@@ -76,7 +90,7 @@ size_t DynamicEsdIndex::ApplyBatch(std::span<const EdgeUpdate> updates) {
   pending_refresh_.ForEach([this, &touched](uint64_t key) {
     const EdgeId* e = ids_.Find(key);
     if (e != nullptr) {  // skip edges deleted later in the batch
-      index_.SetEdgeSizes(*e, dsu_[*e].ComponentSizes());
+      index_.SetEdgeSizes(*e, ValuesFor(*e));
       ++touched;
     }
   });
@@ -91,29 +105,35 @@ bool DynamicEsdIndex::InsertEdge(VertexId u, VertexId v) {
   InsertCounter().Inc();
   const Edge uv = graph::MakeEdge(u, v);
   const EdgeId e = index_.RegisterEdge(uv);
-  if (e >= dsu_.size()) {
-    dsu_.resize(e + 1);
-  } else {
-    dsu_[e] = KeyedDsu();
+  if (use_dsu_) {
+    if (e >= dsu_.size()) {
+      dsu_.resize(e + 1);
+    } else {
+      dsu_[e] = KeyedDsu();
+    }
   }
   ids_[Key(u, v)] = e;
 
   // Lines 2-9 of Algorithm 4: the common neighborhood seeds M_uv, and the
   // new edge makes v a common neighbor of every (u, w) — and u of every
-  // (v, w) — for w in N(uv).
+  // (v, w) — for w in N(uv). The affected-edge enumeration is the same for
+  // every scorer; only the DSU repairs are ESD-specific (non-ESD scorers
+  // recompute each affected edge through the scorer hook instead).
   std::vector<VertexId> common = graph_.CommonNeighbors(u, v);
   std::vector<EdgeId> affected;
   affected.reserve(3 * common.size() + 1);
   affected.push_back(e);
-  dsu_[e].Reserve(common.size());
+  if (use_dsu_) dsu_[e].Reserve(common.size());
   util::FlatSet<VertexId> in_common(common.size());
   for (VertexId w : common) {
-    dsu_[e].AddMember(w);
     in_common.Insert(w);
     EdgeId euw = IdOf(u, w);
     EdgeId evw = IdOf(v, w);
-    dsu_[euw].AddMember(v);
-    dsu_[evw].AddMember(u);
+    if (use_dsu_) {
+      dsu_[e].AddMember(w);
+      dsu_[euw].AddMember(v);
+      dsu_[evw].AddMember(u);
+    }
     affected.push_back(euw);
     affected.push_back(evw);
   }
@@ -124,12 +144,14 @@ bool DynamicEsdIndex::InsertEdge(VertexId u, VertexId v) {
     for (VertexId w2 : graph_.Neighbors(w1)) {
       if (w2 <= w1 || !in_common.Contains(w2)) continue;
       EdgeId e12 = IdOf(w1, w2);
-      dsu_[e].Union(w1, w2);
-      dsu_[IdOf(u, w1)].Union(v, w2);
-      dsu_[IdOf(u, w2)].Union(v, w1);
-      dsu_[IdOf(v, w1)].Union(u, w2);
-      dsu_[IdOf(v, w2)].Union(u, w1);
-      dsu_[e12].Union(u, v);
+      if (use_dsu_) {
+        dsu_[e].Union(w1, w2);
+        dsu_[IdOf(u, w1)].Union(v, w2);
+        dsu_[IdOf(u, w2)].Union(v, w1);
+        dsu_[IdOf(v, w1)].Union(u, w2);
+        dsu_[IdOf(v, w2)].Union(u, w1);
+        dsu_[e12].Union(u, v);
+      }
       affected.push_back(e12);
     }
   }
@@ -173,7 +195,18 @@ bool DynamicEsdIndex::DeleteEdge(VertexId u, VertexId v) {
   std::vector<EdgeId> affected;
   affected.reserve(2 * common.size() + pairs.size());
 
-  if (strategy_ == DeletionStrategy::kRebuildLocal) {
+  if (!use_dsu_) {
+    // Non-ESD scorers: same affected set, repaired by recomputing each
+    // edge's values from the post-deletion graph via the scorer hook.
+    for (VertexId w : common) {
+      affected.push_back(IdOf(u, w));
+      affected.push_back(IdOf(v, w));
+    }
+    for (const Pair& p : pairs) affected.push_back(p.e12);
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()),
+                   affected.end());
+  } else if (strategy_ == DeletionStrategy::kRebuildLocal) {
     for (VertexId w : common) {
       affected.push_back(IdOf(u, w));
       affected.push_back(IdOf(v, w));
@@ -211,7 +244,7 @@ bool DynamicEsdIndex::DeleteEdge(VertexId u, VertexId v) {
   // Lines 22-23: drop the deleted edge itself.
   index_.SetEdgeSizes(e, {});
   index_.UnregisterEdge(e);
-  dsu_[e] = KeyedDsu();
+  if (use_dsu_) dsu_[e] = KeyedDsu();
   ids_.Erase(key);
   last_touched_ = affected.size() + 1;
   TouchedCounter().Inc(last_touched_);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/esd_index.h"
+#include "core/scorer.h"
 #include "core/topk_result.h"
 #include "graph/dynamic_graph.h"
 #include "graph/graph.h"
@@ -44,6 +45,17 @@ class DynamicEsdIndex final : public EsdQueryEngine {
   explicit DynamicEsdIndex(
       const graph::Graph& g,
       DeletionStrategy strategy = DeletionStrategy::kTargeted);
+
+  /// Scorer-parameterized bootstrap. For the ESD scorer this is the ctor
+  /// above (incremental DSU maintenance, Algorithms 4/5). For any other
+  /// scorer the same affected-edge enumeration applies — an update of
+  /// (u, v) only changes the ego subgraphs of the edge itself, the wedge
+  /// edges (u, w)/(v, w), and the pair edges inside N(uv) — but each
+  /// affected edge's value multiset is recomputed through the scorer's
+  /// single-edge hook instead of repaired via per-edge disjoint sets.
+  /// `scorer` must outlive the index (the built-ins are singletons).
+  DynamicEsdIndex(const graph::Graph& g, const DiversityScorer& scorer,
+                  DeletionStrategy strategy = DeletionStrategy::kTargeted);
 
   /// Inserts edge {u, v} and repairs the index (Algorithm 4).
   /// Returns false (no-op) if the edge exists or u == v.
@@ -105,6 +117,7 @@ class DynamicEsdIndex final : public EsdQueryEngine {
   /// per-edge DSU maintenance state is not counted).
   uint64_t MemoryBytes() const override { return index_.MemoryBytes(); }
   std::string_view EngineName() const override { return "dynamic"; }
+  ScorerKind Scorer() const override { return scorer_->Kind(); }
 
   /// Work counters of the maintained index (queries route through it).
   EngineCounters Counters() const override { return index_.Counters(); }
@@ -135,12 +148,18 @@ class DynamicEsdIndex final : public EsdQueryEngine {
   /// `z` need not be a member (then this is a no-op).
   void TargetedRepair(graph::EdgeId e, graph::VertexId z);
 
-  /// Pushes M_e's component sizes into the index.
+  /// Pushes edge e's current value multiset into the index.
   void RefreshScores(graph::EdgeId e);
+
+  /// Edge e's value multiset right now: M_e's component sizes on the DSU
+  /// fast path, otherwise a scorer recompute from the current graph.
+  std::vector<uint32_t> ValuesFor(graph::EdgeId e);
 
   graph::DynamicGraph graph_;
   EsdIndex index_;
-  std::vector<util::KeyedDsu> dsu_;             // by EdgeId
+  const DiversityScorer* scorer_;               // never null
+  bool use_dsu_;  // ESD only: maintain per-edge DSUs incrementally
+  std::vector<util::KeyedDsu> dsu_;             // by EdgeId (DSU path only)
   util::FlatMap<uint64_t, graph::EdgeId> ids_;  // (u,v) -> EdgeId
   DeletionStrategy strategy_;
   size_t last_touched_ = 0;

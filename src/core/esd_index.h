@@ -145,6 +145,16 @@ class EsdIndex : public EsdQueryEngine {
   /// entries walked to build answers.
   EngineCounters Counters() const override { return counters_.Snap(); }
 
+  /// Which diversity definition the stored value multisets follow. The
+  /// structure itself is scorer-agnostic (any sorted multiset per edge);
+  /// the kind is a label the builders stamp so serialization and the live
+  /// stack can refuse cross-scorer mixing.
+  ScorerKind Scorer() const override { return scorer_kind_; }
+
+  /// Stamps the scorer label (builders and loaders only; does not touch
+  /// the stored multisets).
+  void SetScorerKind(ScorerKind kind) { scorer_kind_ = kind; }
+
   /// Invokes fn(c, list) for every list, ascending c.
   template <typename Fn>
   void ForEachList(Fn&& fn) const {
@@ -164,6 +174,7 @@ class EsdIndex : public EsdQueryEngine {
   std::vector<graph::EdgeId> free_ids_;
   std::vector<uint8_t> live_;  // by EdgeId
   uint64_t num_entries_ = 0;
+  ScorerKind scorer_kind_ = ScorerKind::kEsd;
   EngineCounterBlock counters_;
 };
 

@@ -32,10 +32,11 @@ uint32_t ScoreAt(std::span<const uint32_t> sizes, uint32_t c) {
 
 FrozenEsdIndex FrozenEsdIndex::FromEdgeSizes(
     std::vector<Edge> edges, std::vector<std::vector<uint32_t>> sizes_per_edge,
-    std::vector<uint8_t> live) {
+    std::vector<uint8_t> live, ScorerKind scorer) {
   obs::PhaseSeries phases;
   phases.Begin("build.slab_sort");
   FrozenEsdIndex out;
+  out.scorer_ = scorer;
   const size_t n = edges.size();
   assert(sizes_per_edge.size() == n);
   out.edges_ = std::move(edges);
@@ -119,6 +120,9 @@ bool FrozenEsdIndex::Adopt(Parts parts, FrozenEsdIndex* out,
     if (error != nullptr) *error = what;
     return false;
   };
+  if (!ValidScorerKind(static_cast<uint32_t>(parts.scorer))) {
+    return fail("frozen index: unknown scorer id");
+  }
   const size_t n = parts.edges.size();
   if (parts.live.size() != n) return fail("frozen index: live mask size");
   if (parts.size_offsets.size() != n + 1 || parts.size_offsets[0] != 0 ||
@@ -203,6 +207,7 @@ bool FrozenEsdIndex::Adopt(Parts parts, FrozenEsdIndex* out,
   out->offsets_ = std::move(parts.offsets);
   out->entries_ = std::move(parts.entries);
   out->num_live_ = num_live;
+  out->scorer_ = parts.scorer;
   return true;
 }
 
@@ -291,10 +296,10 @@ uint64_t FrozenEsdIndex::MemoryBytes() const {
 }
 
 bool operator==(const FrozenEsdIndex& a, const FrozenEsdIndex& b) {
-  return a.edges_ == b.edges_ && a.live_ == b.live_ &&
-         a.size_offsets_ == b.size_offsets_ && a.size_pool_ == b.size_pool_ &&
-         a.sizes_ == b.sizes_ && a.offsets_ == b.offsets_ &&
-         a.entries_ == b.entries_;
+  return a.scorer_ == b.scorer_ && a.edges_ == b.edges_ &&
+         a.live_ == b.live_ && a.size_offsets_ == b.size_offsets_ &&
+         a.size_pool_ == b.size_pool_ && a.sizes_ == b.sizes_ &&
+         a.offsets_ == b.offsets_ && a.entries_ == b.entries_;
 }
 
 FrozenEsdIndex Freeze(const EsdIndex& index) {
@@ -311,7 +316,7 @@ FrozenEsdIndex Freeze(const EsdIndex& index) {
     live.push_back(index.IsLive(e) ? 1 : 0);
   }
   return FrozenEsdIndex::FromEdgeSizes(std::move(edges), std::move(sizes),
-                                       std::move(live));
+                                       std::move(live), index.Scorer());
 }
 
 EsdIndex Thaw(const FrozenEsdIndex& frozen) {
@@ -343,6 +348,7 @@ EsdIndex Thaw(const FrozenEsdIndex& frozen) {
       if (!frozen.IsLive(e)) out.UnregisterEdge(e);
     }
   }
+  out.SetScorerKind(frozen.Scorer());
   return out;
 }
 

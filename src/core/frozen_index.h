@@ -50,6 +50,7 @@ class FrozenEsdIndex final : public EsdQueryEngine {
   /// The raw arrays of a frozen index — the unit of (de)serialization.
   /// Adopt() validates every structural invariant before accepting one.
   struct Parts {
+    ScorerKind scorer = ScorerKind::kEsd;  // which definition the values follow
     std::vector<graph::Edge> edges;      // by edge-id slot
     std::vector<uint8_t> live;           // by slot; 0 = freed
     std::vector<uint64_t> size_offsets;  // per-slot multiset CSR, n+1
@@ -68,7 +69,8 @@ class FrozenEsdIndex final : public EsdQueryEngine {
   static FrozenEsdIndex FromEdgeSizes(
       std::vector<graph::Edge> edges,
       std::vector<std::vector<uint32_t>> sizes_per_edge,
-      std::vector<uint8_t> live = {});
+      std::vector<uint8_t> live = {},
+      ScorerKind scorer = ScorerKind::kEsd);
 
   /// Validates `parts` (offset monotonicity, sorted multisets and slabs,
   /// edge ids in range, slab membership/scores consistent with the
@@ -113,6 +115,11 @@ class FrozenEsdIndex final : public EsdQueryEngine {
   /// Work counters: queries answered, sizes_ binary searches (FindSlab,
   /// including the batched path), and slab entries scanned.
   EngineCounters Counters() const override { return counters_.Snap(); }
+
+  /// Which diversity definition the stored values follow (part of the
+  /// logical image: serialized, compared by operator==, and checked on
+  /// load so a file frozen for one scorer never serves another).
+  ScorerKind Scorer() const override { return scorer_; }
 
   // ---- Edge registry (read-only mirror of EsdIndex) ------------------------
 
@@ -160,6 +167,7 @@ class FrozenEsdIndex final : public EsdQueryEngine {
   std::vector<uint64_t> offsets_;
   std::vector<Entry> entries_;
   uint64_t num_live_ = 0;
+  ScorerKind scorer_ = ScorerKind::kEsd;
   /// Not part of the logical image: ignored by operator== and not
   /// serialized (a loaded index starts at zero).
   EngineCounterBlock counters_;

@@ -44,11 +44,9 @@ EsdIndex BuildIndexBasicFast(const Graph& g) {
   return index;
 }
 
-namespace {
-
 // Algorithm 3 minus the H build: per-edge component-size multisets via one
 // 4-clique enumeration over the degree-ordered DAG. Shared by the treap and
-// frozen output paths.
+// frozen output paths (and the ESD scorer's bulk hook).
 std::vector<std::vector<uint32_t>> CliqueComponentSizes(
     const Graph& g, std::vector<KeyedDsu>* m_out) {
   const EdgeId m = g.NumEdges();
@@ -84,8 +82,6 @@ std::vector<std::vector<uint32_t>> CliqueComponentSizes(
   return sizes;
 }
 
-}  // namespace
-
 EsdIndex BuildIndexClique(const Graph& g, std::vector<KeyedDsu>* m_out) {
   EsdIndex index;
   index.BulkLoad(g.Edges(), CliqueComponentSizes(g, m_out));
@@ -95,6 +91,21 @@ EsdIndex BuildIndexClique(const Graph& g, std::vector<KeyedDsu>* m_out) {
 FrozenEsdIndex BuildFrozenIndex(const Graph& g) {
   return FrozenEsdIndex::FromEdgeSizes(g.Edges(),
                                        CliqueComponentSizes(g, nullptr));
+}
+
+EsdIndex BuildIndex(const Graph& g, const DiversityScorer& scorer) {
+  if (scorer.Kind() == ScorerKind::kEsd) return BuildIndexClique(g);
+  EsdIndex index;
+  index.BulkLoad(g.Edges(), scorer.BuildAllEdgeValues(g));
+  index.SetScorerKind(scorer.Kind());
+  return index;
+}
+
+FrozenEsdIndex BuildFrozenIndex(const Graph& g,
+                                const DiversityScorer& scorer) {
+  if (scorer.Kind() == ScorerKind::kEsd) return BuildFrozenIndex(g);
+  return FrozenEsdIndex::FromEdgeSizes(g.Edges(), scorer.BuildAllEdgeValues(g),
+                                       {}, scorer.Kind());
 }
 
 }  // namespace esd::core

@@ -5,6 +5,7 @@
 
 #include "core/esd_index.h"
 #include "core/frozen_index.h"
+#include "core/scorer.h"
 #include "graph/graph.h"
 #include "util/dsu.h"
 
@@ -35,6 +36,22 @@ EsdIndex BuildIndexClique(const graph::Graph& g,
 /// skipping treap construction entirely. Identical query answers to
 /// Freeze(BuildIndexClique(g)) with one fewer intermediate structure.
 FrozenEsdIndex BuildFrozenIndex(const graph::Graph& g);
+
+/// The shared core of Algorithm 3: per-edge component-size multisets via one
+/// 4-clique enumeration over the degree-ordered DAG (no H build). Exposed so
+/// the ESD scorer's bulk hook and the builders share one implementation. If
+/// `m_out` is non-null it receives the per-edge disjoint-set structures.
+std::vector<std::vector<uint32_t>> CliqueComponentSizes(
+    const graph::Graph& g, std::vector<util::KeyedDsu>* m_out = nullptr);
+
+/// Scorer-parameterized treap build: ESD dispatches to BuildIndexClique,
+/// any other scorer bulk-computes its value multisets through the scorer
+/// hook. The result is stamped with the scorer's kind.
+EsdIndex BuildIndex(const graph::Graph& g, const DiversityScorer& scorer);
+
+/// Scorer-parameterized frozen build (same dispatch as BuildIndex).
+FrozenEsdIndex BuildFrozenIndex(const graph::Graph& g,
+                                const DiversityScorer& scorer);
 
 }  // namespace esd::core
 

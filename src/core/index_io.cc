@@ -4,6 +4,7 @@
 #include <cstring>
 #include <fstream>
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <span>
 #include <utility>
@@ -16,7 +17,7 @@ namespace esd::core {
 
 namespace {
 
-/// Shared by the four path-based entry points: a fired index_io.save /
+/// Shared by the path-based entry points: a fired index_io.save /
 /// index_io.load fail point turns into the same typed "cannot open"-style
 /// error a real filesystem failure would produce.
 bool InjectedIoError(const char* point, const std::string& path,
@@ -43,46 +44,89 @@ using Reader = BinaryReader;
 using Writer = BinaryWriter;
 
 constexpr char kMagic[4] = {'E', 'S', 'D', 'X'};
-constexpr uint32_t kVersionRecords = 1;  // per-slot records, treaps rebuilt
-constexpr uint32_t kVersionFrozen = 2;   // frozen arrays written verbatim
+constexpr uint32_t kVersionRecords = 1;        // per-slot records, no scorer
+constexpr uint32_t kVersionFrozen = 2;         // frozen arrays, no scorer
+constexpr uint32_t kVersionRecordsScorer = 3;  // v1 + leading scorer id
+constexpr uint32_t kVersionFrozenScorer = 4;   // v2 + leading scorer id
 
-/// Reads magic + version. Returns 0 (with *error set) on failure.
-uint32_t ReadHeader(std::istream& in, std::string* error) {
-  auto fail = [error](const char* what) {
-    if (error != nullptr) *error = what;
-    return 0u;
-  };
+IndexIoResult Fail(IndexIoStatus status, std::string message) {
+  return IndexIoResult{status, std::move(message)};
+}
+
+IndexIoResult FormatError(std::string message) {
+  return Fail(IndexIoStatus::kFormatError, std::move(message));
+}
+
+bool IsRecordVersion(uint32_t v) {
+  return v == kVersionRecords || v == kVersionRecordsScorer;
+}
+
+/// Reads magic + version (the un-checksummed preamble). Returns kOk and
+/// sets *version on success.
+IndexIoResult ReadVersionHeader(std::istream& in, uint32_t* version) {
   char magic[4];
   in.read(magic, sizeof(magic));
   if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return fail("bad magic: not an ESDIndex file");
+    return FormatError("bad magic: not an ESDIndex file");
   }
-  uint32_t version = 0;
-  in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!in ||
-      (version != kVersionRecords && version != kVersionFrozen)) {
-    return fail("unsupported index version");
+  uint32_t v = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  if (!in || v < kVersionRecords || v > kVersionFrozenScorer) {
+    return FormatError("unsupported index version");
   }
-  return version;
+  *version = v;
+  return {};
 }
 
-/// One v1 slot record.
+/// Reads the scorer id (first checksummed field) for v3/v4 streams;
+/// v1/v2 streams carry no id and load as kEsd. A raw value that is not a
+/// known ScorerKind is the typed kUnknownScorer error — the payload that
+/// follows cannot be trusted to mean anything.
+IndexIoResult ReadScorerField(Reader& r, uint32_t version, ScorerKind* out) {
+  if (version < kVersionRecordsScorer) {
+    *out = ScorerKind::kEsd;
+    return {};
+  }
+  uint32_t raw = 0;
+  if (!r.Get(&raw)) return FormatError("truncated index file");
+  if (!ValidScorerKind(raw)) {
+    return Fail(
+        IndexIoStatus::kUnknownScorer,
+        "unknown scorer id " + std::to_string(raw) + " in index file");
+  }
+  *out = static_cast<ScorerKind>(raw);
+  return {};
+}
+
+/// The kScorerMismatch error, emitted only after the checksum verified —
+/// so "mismatch" always means a well-formed file of another scorer, never
+/// a corrupt one.
+IndexIoResult CheckExpectedScorer(ScorerKind got,
+                                  std::optional<ScorerKind> expected) {
+  if (!expected.has_value() || got == *expected) return {};
+  return Fail(IndexIoStatus::kScorerMismatch,
+              std::string("scorer mismatch: index file was built for '") +
+                  std::string(ScorerKindName(got)) + "' (id " +
+                  std::to_string(static_cast<uint32_t>(got)) +
+                  ") but this engine expects '" +
+                  std::string(ScorerKindName(*expected)) + "' (id " +
+                  std::to_string(static_cast<uint32_t>(*expected)) + ")");
+}
+
+/// One record-format slot.
 struct Record {
   graph::Edge edge;
   bool live;
   std::vector<uint32_t> sizes;
 };
 
-/// Reads the v1 payload (after the header) and verifies the checksum.
-bool ReadV1Records(std::istream& in, std::vector<Record>* out,
-                   std::string* error) {
-  auto fail = [error](const char* what) {
-    if (error != nullptr) *error = what;
-    return false;
-  };
-  Reader r(in);
+/// Reads the record payload (after the header/scorer) and verifies the
+/// checksum. `r` must be the same Reader the scorer field went through so
+/// the checksum covers it.
+IndexIoResult ReadRecordPayload(std::istream& in, Reader& r,
+                                std::vector<Record>* out) {
   uint64_t slots = 0;
-  if (!r.Get(&slots)) return fail("truncated index file");
+  if (!r.Get(&slots)) return FormatError("truncated index file");
   std::vector<Record> records;
   records.reserve(slots);
   for (uint64_t i = 0; i < slots; ++i) {
@@ -91,15 +135,16 @@ bool ReadV1Records(std::istream& in, std::vector<Record>* out,
     uint32_t count = 0;
     if (!r.Get(&rec.edge.u) || !r.Get(&rec.edge.v) || !r.Get(&live) ||
         !r.Get(&count)) {
-      return fail("truncated index file");
+      return FormatError("truncated index file");
     }
     rec.live = live != 0;
     rec.sizes.resize(count);
     uint32_t prev = 0;
     for (uint32_t j = 0; j < count; ++j) {
-      if (!r.Get(&rec.sizes[j])) return fail("truncated index file");
+      if (!r.Get(&rec.sizes[j])) return FormatError("truncated index file");
       if (rec.sizes[j] < prev || rec.sizes[j] == 0) {
-        return fail("corrupt index file: size multiset not sorted/positive");
+        return FormatError(
+            "corrupt index file: size multiset not sorted/positive");
       }
       prev = rec.sizes[j];
     }
@@ -108,39 +153,35 @@ bool ReadV1Records(std::istream& in, std::vector<Record>* out,
   uint64_t stored_checksum = 0;
   in.read(reinterpret_cast<char*>(&stored_checksum), sizeof(stored_checksum));
   if (!in || stored_checksum != r.checksum()) {
-    return fail("checksum mismatch: index file corrupt");
+    return FormatError("checksum mismatch: index file corrupt");
   }
   *out = std::move(records);
-  return true;
+  return {};
 }
 
-/// Reads the v2 payload (after the header) and verifies the checksum. The
-/// parts still need FrozenEsdIndex::Adopt validation afterwards.
-bool ReadV2Parts(std::istream& in, FrozenEsdIndex::Parts* out,
-                 std::string* error) {
-  auto fail = [error](const char* what) {
-    if (error != nullptr) *error = what;
-    return false;
-  };
-  Reader r(in);
+/// Reads the frozen payload (after the header/scorer) and verifies the
+/// checksum. The parts still need FrozenEsdIndex::Adopt validation.
+IndexIoResult ReadFrozenPayload(std::istream& in, Reader& r,
+                                FrozenEsdIndex::Parts* out) {
   FrozenEsdIndex::Parts parts;
   if (!r.GetArray(&parts.edges) || !r.GetArray(&parts.live) ||
       !r.GetArray(&parts.size_offsets) || !r.GetArray(&parts.size_pool) ||
       !r.GetArray(&parts.sizes) || !r.GetArray(&parts.offsets) ||
       !r.GetArray(&parts.entries)) {
-    return fail(r.error() != nullptr ? r.error() : "truncated index file");
+    return FormatError(r.error() != nullptr ? r.error()
+                                            : "truncated index file");
   }
   uint64_t stored_checksum = 0;
   in.read(reinterpret_cast<char*>(&stored_checksum), sizeof(stored_checksum));
   if (!in || stored_checksum != r.checksum()) {
-    return fail("checksum mismatch: index file corrupt");
+    return FormatError("checksum mismatch: index file corrupt");
   }
   *out = std::move(parts);
-  return true;
+  return {};
 }
 
-/// Reassembles an EsdIndex from v1 records, reproducing the exact edge-id
-/// layout (freed slots stay freed).
+/// Reassembles an EsdIndex from record slots, reproducing the exact
+/// edge-id layout (freed slots stay freed).
 EsdIndex IndexFromRecords(std::vector<Record> records) {
   bool all_live = true;
   for (const Record& rec : records) all_live &= rec.live;
@@ -170,9 +211,10 @@ EsdIndex IndexFromRecords(std::vector<Record> records) {
   return fresh;
 }
 
-/// Builds the frozen image from v1 records (the one-time slab build a v1
-/// file pays when loaded into the serving layer).
-FrozenEsdIndex FrozenFromRecords(std::vector<Record> records) {
+/// Builds the frozen image from record slots (the one-time slab build a
+/// record file pays when loaded into the serving layer).
+FrozenEsdIndex FrozenFromRecords(std::vector<Record> records,
+                                 ScorerKind scorer) {
   std::vector<graph::Edge> edges;
   std::vector<std::vector<uint32_t>> sizes;
   std::vector<uint8_t> live;
@@ -185,7 +227,110 @@ FrozenEsdIndex FrozenFromRecords(std::vector<Record> records) {
     live.push_back(rec.live ? 1 : 0);
   }
   return FrozenEsdIndex::FromEdgeSizes(std::move(edges), std::move(sizes),
-                                       std::move(live));
+                                       std::move(live), scorer);
+}
+
+IndexIoResult DeserializeIndexImpl(std::istream& in, EsdIndex* index,
+                                   std::optional<ScorerKind> expected) {
+  uint32_t version = 0;
+  if (IndexIoResult res = ReadVersionHeader(in, &version); !res) return res;
+  Reader r(in);
+  ScorerKind scorer = ScorerKind::kEsd;
+  if (IndexIoResult res = ReadScorerField(r, version, &scorer); !res) {
+    return res;
+  }
+  if (IsRecordVersion(version)) {
+    std::vector<Record> records;
+    if (IndexIoResult res = ReadRecordPayload(in, r, &records); !res) {
+      return res;
+    }
+    if (IndexIoResult res = CheckExpectedScorer(scorer, expected); !res) {
+      return res;
+    }
+    *index = IndexFromRecords(std::move(records));
+    index->SetScorerKind(scorer);
+    return {};
+  }
+  // Frozen stream: validate the image, then thaw it back into treaps.
+  FrozenEsdIndex::Parts parts;
+  if (IndexIoResult res = ReadFrozenPayload(in, r, &parts); !res) return res;
+  if (IndexIoResult res = CheckExpectedScorer(scorer, expected); !res) {
+    return res;
+  }
+  parts.scorer = scorer;
+  FrozenEsdIndex frozen;
+  std::string adopt_error;
+  if (!FrozenEsdIndex::Adopt(std::move(parts), &frozen, &adopt_error)) {
+    return FormatError(std::move(adopt_error));
+  }
+  *index = Thaw(frozen);
+  return {};
+}
+
+IndexIoResult DeserializeFrozenIndexImpl(std::istream& in,
+                                         FrozenEsdIndex* index,
+                                         std::optional<ScorerKind> expected) {
+  uint32_t version = 0;
+  if (IndexIoResult res = ReadVersionHeader(in, &version); !res) return res;
+  Reader r(in);
+  ScorerKind scorer = ScorerKind::kEsd;
+  if (IndexIoResult res = ReadScorerField(r, version, &scorer); !res) {
+    return res;
+  }
+  if (!IsRecordVersion(version)) {
+    FrozenEsdIndex::Parts parts;
+    if (IndexIoResult res = ReadFrozenPayload(in, r, &parts); !res) {
+      return res;
+    }
+    if (IndexIoResult res = CheckExpectedScorer(scorer, expected); !res) {
+      return res;
+    }
+    parts.scorer = scorer;
+    std::string adopt_error;
+    if (!FrozenEsdIndex::Adopt(std::move(parts), index, &adopt_error)) {
+      return FormatError(std::move(adopt_error));
+    }
+    return {};
+  }
+  // Record stream: rebuild the slabs once from the per-edge multisets.
+  std::vector<Record> records;
+  if (IndexIoResult res = ReadRecordPayload(in, r, &records); !res) {
+    return res;
+  }
+  if (IndexIoResult res = CheckExpectedScorer(scorer, expected); !res) {
+    return res;
+  }
+  *index = FrozenFromRecords(std::move(records), scorer);
+  return {};
+}
+
+IndexIoResult LoadIndexImpl(const std::string& path, EsdIndex* index,
+                            std::optional<ScorerKind> expected) {
+  std::string injected;
+  if (InjectedIoError("index_io.load", path, "read", &injected)) {
+    return Fail(IndexIoStatus::kIoError, std::move(injected));
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Fail(IndexIoStatus::kIoError, "cannot open " + path);
+  return DeserializeIndexImpl(in, index, expected);
+}
+
+IndexIoResult LoadFrozenIndexImpl(const std::string& path,
+                                  FrozenEsdIndex* index,
+                                  std::optional<ScorerKind> expected) {
+  std::string injected;
+  if (InjectedIoError("index_io.load", path, "read", &injected)) {
+    return Fail(IndexIoStatus::kIoError, std::move(injected));
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Fail(IndexIoStatus::kIoError, "cannot open " + path);
+  return DeserializeFrozenIndexImpl(in, index, expected);
+}
+
+/// Adapts a typed result to the legacy bool + string* surface.
+bool ToBool(const IndexIoResult& res, std::string* error) {
+  if (!res && error != nullptr) *error = res.message;
+  return static_cast<bool>(res);
 }
 
 }  // namespace
@@ -193,10 +338,11 @@ FrozenEsdIndex FrozenFromRecords(std::vector<Record> records) {
 bool SerializeIndex(const EsdIndex& index, std::ostream& out,
                     std::string* error) {
   out.write(kMagic, sizeof(kMagic));
-  uint32_t version = kVersionRecords;
+  uint32_t version = kVersionRecordsScorer;
   out.write(reinterpret_cast<const char*>(&version), sizeof(version));
 
   Writer w(out);
+  w.Put(static_cast<uint32_t>(index.Scorer()));
   const uint64_t slots = index.EdgeSlotCount();
   w.Put(slots);
   for (graph::EdgeId e = 0; e < slots; ++e) {
@@ -225,7 +371,7 @@ bool SerializeIndex(const EsdIndex& index, std::ostream& out,
 bool SerializeFrozenIndex(const FrozenEsdIndex& index, std::ostream& out,
                           std::string* error) {
   out.write(kMagic, sizeof(kMagic));
-  uint32_t version = kVersionFrozen;
+  uint32_t version = kVersionFrozenScorer;
   out.write(reinterpret_cast<const char*>(&version), sizeof(version));
 
   // A default-constructed index has empty offset arrays; serialize the
@@ -238,6 +384,7 @@ bool SerializeFrozenIndex(const FrozenEsdIndex& index, std::ostream& out,
   if (slab_offsets.empty()) slab_offsets = std::span(&kZeroOffset, 1);
 
   Writer w(out);
+  w.Put(static_cast<uint32_t>(index.Scorer()));
   w.PutArray(index.Edges());
   w.PutArray(index.LiveMask());
   w.PutArray(size_offsets);
@@ -256,37 +403,22 @@ bool SerializeFrozenIndex(const FrozenEsdIndex& index, std::ostream& out,
 }
 
 bool DeserializeIndex(std::istream& in, EsdIndex* index, std::string* error) {
-  const uint32_t version = ReadHeader(in, error);
-  if (version == 0) return false;
-  if (version == kVersionRecords) {
-    std::vector<Record> records;
-    if (!ReadV1Records(in, &records, error)) return false;
-    *index = IndexFromRecords(std::move(records));
-    return true;
-  }
-  // v2: validate the frozen image, then thaw it back into treaps.
-  FrozenEsdIndex::Parts parts;
-  if (!ReadV2Parts(in, &parts, error)) return false;
-  FrozenEsdIndex frozen;
-  if (!FrozenEsdIndex::Adopt(std::move(parts), &frozen, error)) return false;
-  *index = Thaw(frozen);
-  return true;
+  return ToBool(DeserializeIndexImpl(in, index, std::nullopt), error);
 }
 
 bool DeserializeFrozenIndex(std::istream& in, FrozenEsdIndex* index,
                             std::string* error) {
-  const uint32_t version = ReadHeader(in, error);
-  if (version == 0) return false;
-  if (version == kVersionFrozen) {
-    FrozenEsdIndex::Parts parts;
-    if (!ReadV2Parts(in, &parts, error)) return false;
-    return FrozenEsdIndex::Adopt(std::move(parts), index, error);
-  }
-  // v1: rebuild the slabs once from the per-edge multisets.
-  std::vector<Record> records;
-  if (!ReadV1Records(in, &records, error)) return false;
-  *index = FrozenFromRecords(std::move(records));
-  return true;
+  return ToBool(DeserializeFrozenIndexImpl(in, index, std::nullopt), error);
+}
+
+IndexIoResult DeserializeIndex(std::istream& in, EsdIndex* index,
+                               ScorerKind expected_scorer) {
+  return DeserializeIndexImpl(in, index, expected_scorer);
+}
+
+IndexIoResult DeserializeFrozenIndex(std::istream& in, FrozenEsdIndex* index,
+                                     ScorerKind expected_scorer) {
+  return DeserializeFrozenIndexImpl(in, index, expected_scorer);
 }
 
 bool SaveIndex(const EsdIndex& index, const std::string& path,
@@ -301,13 +433,12 @@ bool SaveIndex(const EsdIndex& index, const std::string& path,
 }
 
 bool LoadIndex(const std::string& path, EsdIndex* index, std::string* error) {
-  if (InjectedIoError("index_io.load", path, "read", error)) return false;
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    if (error != nullptr) *error = "cannot open " + path;
-    return false;
-  }
-  return DeserializeIndex(in, index, error);
+  return ToBool(LoadIndexImpl(path, index, std::nullopt), error);
+}
+
+IndexIoResult LoadIndex(const std::string& path, EsdIndex* index,
+                        ScorerKind expected_scorer) {
+  return LoadIndexImpl(path, index, expected_scorer);
 }
 
 bool SaveFrozenIndex(const FrozenEsdIndex& index, const std::string& path,
@@ -323,13 +454,12 @@ bool SaveFrozenIndex(const FrozenEsdIndex& index, const std::string& path,
 
 bool LoadFrozenIndex(const std::string& path, FrozenEsdIndex* index,
                      std::string* error) {
-  if (InjectedIoError("index_io.load", path, "read", error)) return false;
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    if (error != nullptr) *error = "cannot open " + path;
-    return false;
-  }
-  return DeserializeFrozenIndex(in, index, error);
+  return ToBool(LoadFrozenIndexImpl(path, index, std::nullopt), error);
+}
+
+IndexIoResult LoadFrozenIndex(const std::string& path, FrozenEsdIndex* index,
+                              ScorerKind expected_scorer) {
+  return LoadFrozenIndexImpl(path, index, expected_scorer);
 }
 
 }  // namespace esd::core

@@ -6,6 +6,7 @@
 
 #include "core/esd_index.h"
 #include "core/frozen_index.h"
+#include "core/scorer.h"
 
 namespace esd::core {
 
@@ -13,7 +14,7 @@ namespace esd::core {
 /// and loaded by later processes (the paper's motivating deployment: build
 /// once in ~minutes, then answer queries in milliseconds forever).
 ///
-/// Two on-disk versions share the magic "ESDX" + u32 version header and a
+/// Four on-disk versions share the magic "ESDX" + u32 version header and a
 /// trailing u64 FNV-1a checksum of the payload:
 ///
 ///   v1 (record format): u64 edge-slot count, then per-slot
@@ -24,11 +25,32 @@ namespace esd::core {
 ///      CSR offsets + pool, distinct sizes C, slab offsets, slab entries).
 ///      Contiguous writes, mmap-friendly layout, and a load path that is
 ///      validation + adoption — no rebuild step.
+///   v3 / v4: v1 / v2 with a leading u32 scorer id (ScorerKind) as the
+///      first checksummed field, so a file built for one diversity scorer
+///      is never silently loaded by another. v1/v2 files load as kEsd.
 ///
-/// Both loaders accept both versions: a v1 file loads into a
-/// FrozenEsdIndex by building the slabs once, and a v2 file loads into an
-/// EsdIndex by thawing (rebuilding the treaps from the stored multisets).
-/// SerializeIndex always writes v1; SerializeFrozenIndex always writes v2.
+/// Both loaders accept all versions: a record file loads into a
+/// FrozenEsdIndex by building the slabs once, and a frozen file loads into
+/// an EsdIndex by thawing (rebuilding the treaps from the stored
+/// multisets). SerializeIndex always writes v3; SerializeFrozenIndex
+/// always writes v4, both stamped with the index's Scorer().
+
+/// Typed outcome of a checked load/save, so callers can distinguish "the
+/// disk is broken" from "this file belongs to a different scorer".
+enum class IndexIoStatus {
+  kOk = 0,
+  kIoError,         // cannot open / write failure (incl. injected faults)
+  kFormatError,     // bad magic, version, truncation, checksum, validation
+  kScorerMismatch,  // well-formed file, but built for a different scorer
+  kUnknownScorer,   // scorer id field is not any known ScorerKind
+};
+
+struct IndexIoResult {
+  IndexIoStatus status = IndexIoStatus::kOk;
+  std::string message;  // empty on kOk
+  explicit operator bool() const { return status == IndexIoStatus::kOk; }
+};
+
 bool SaveIndex(const EsdIndex& index, const std::string& path,
                std::string* error);
 bool LoadIndex(const std::string& path, EsdIndex* index, std::string* error);
@@ -38,6 +60,14 @@ bool SaveFrozenIndex(const FrozenEsdIndex& index, const std::string& path,
 bool LoadFrozenIndex(const std::string& path, FrozenEsdIndex* index,
                      std::string* error);
 
+/// Checked variants: fail with kScorerMismatch when the file's scorer id
+/// differs from `expected_scorer` (v1/v2 files count as kEsd). The bool
+/// APIs above accept any scorer and stamp it on the loaded index.
+IndexIoResult LoadIndex(const std::string& path, EsdIndex* index,
+                        ScorerKind expected_scorer);
+IndexIoResult LoadFrozenIndex(const std::string& path, FrozenEsdIndex* index,
+                              ScorerKind expected_scorer);
+
 /// Stream variants (used by the file functions and by tests).
 bool SerializeIndex(const EsdIndex& index, std::ostream& out,
                     std::string* error);
@@ -46,6 +76,11 @@ bool SerializeFrozenIndex(const FrozenEsdIndex& index, std::ostream& out,
                           std::string* error);
 bool DeserializeFrozenIndex(std::istream& in, FrozenEsdIndex* index,
                             std::string* error);
+
+IndexIoResult DeserializeIndex(std::istream& in, EsdIndex* index,
+                               ScorerKind expected_scorer);
+IndexIoResult DeserializeFrozenIndex(std::istream& in, FrozenEsdIndex* index,
+                                     ScorerKind expected_scorer);
 
 }  // namespace esd::core
 

@@ -115,6 +115,24 @@ std::vector<std::vector<uint32_t>> ParallelComponentSizes(
   return sizes;
 }
 
+// Non-ESD scorer path: the bulk build is embarrassingly parallel over edges
+// (each edge's value multiset depends only on its own ego subgraph).
+std::vector<std::vector<uint32_t>> ParallelScorerValues(
+    const Graph& g, const DiversityScorer& scorer, util::ThreadPool& pool) {
+  const EdgeId m = g.NumEdges();
+  obs::PhaseSeries phases;
+  phases.Begin("build.extract_sizes");
+  std::vector<std::vector<uint32_t>> values(m);
+  pool.ParallelForChunked(0, m, 64, [&](uint64_t lo, uint64_t hi) {
+    ESD_TRACE_SPAN("build.extract_sizes.chunk");
+    for (uint64_t e = lo; e < hi; ++e) {
+      const graph::Edge& uv = g.EdgeAt(static_cast<EdgeId>(e));
+      values[e] = scorer.EdgeValues(g, uv.u, uv.v);
+    }
+  });
+  return values;
+}
+
 }  // namespace
 
 EsdIndex BuildIndexParallel(const Graph& g, unsigned num_threads,
@@ -130,6 +148,30 @@ FrozenEsdIndex BuildFrozenIndexParallel(const Graph& g, unsigned num_threads,
   util::ThreadPool pool(num_threads);
   return FrozenEsdIndex::FromEdgeSizes(
       g.Edges(), ParallelComponentSizes(g, pool, mode, nullptr));
+}
+
+EsdIndex BuildIndexParallel(const Graph& g, const DiversityScorer& scorer,
+                            unsigned num_threads, ParallelMode mode) {
+  if (scorer.Kind() == ScorerKind::kEsd) {
+    return BuildIndexParallel(g, num_threads, nullptr, mode);
+  }
+  util::ThreadPool pool(num_threads);
+  EsdIndex index;
+  index.BulkLoad(g.Edges(), ParallelScorerValues(g, scorer, pool));
+  index.SetScorerKind(scorer.Kind());
+  return index;
+}
+
+FrozenEsdIndex BuildFrozenIndexParallel(const Graph& g,
+                                        const DiversityScorer& scorer,
+                                        unsigned num_threads,
+                                        ParallelMode mode) {
+  if (scorer.Kind() == ScorerKind::kEsd) {
+    return BuildFrozenIndexParallel(g, num_threads, mode);
+  }
+  util::ThreadPool pool(num_threads);
+  return FrozenEsdIndex::FromEdgeSizes(
+      g.Edges(), ParallelScorerValues(g, scorer, pool), {}, scorer.Kind());
 }
 
 }  // namespace esd::core

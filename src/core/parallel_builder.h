@@ -5,6 +5,7 @@
 
 #include "core/esd_index.h"
 #include "core/frozen_index.h"
+#include "core/scorer.h"
 #include "graph/graph.h"
 #include "util/dsu.h"
 
@@ -44,6 +45,19 @@ EsdIndex BuildIndexParallel(const graph::Graph& g, unsigned num_threads,
 FrozenEsdIndex BuildFrozenIndexParallel(
     const graph::Graph& g, unsigned num_threads,
     ParallelMode mode = ParallelMode::kEdgeParallel);
+
+/// Scorer-parameterized parallel builds. ESD dispatches to the clique
+/// pipeline above; any other scorer computes its per-edge value multisets
+/// in parallel over edges through the scorer's single-edge hook (edges are
+/// independent, so no locking is needed). Results are stamped with the
+/// scorer's kind.
+EsdIndex BuildIndexParallel(const graph::Graph& g,
+                            const DiversityScorer& scorer,
+                            unsigned num_threads,
+                            ParallelMode mode = ParallelMode::kEdgeParallel);
+FrozenEsdIndex BuildFrozenIndexParallel(
+    const graph::Graph& g, const DiversityScorer& scorer,
+    unsigned num_threads, ParallelMode mode = ParallelMode::kEdgeParallel);
 
 }  // namespace esd::core
 

@@ -60,6 +60,79 @@ TopKResult OnlineQueryEngine::QueryWithScoreAtLeast(uint32_t tau,
   return out;
 }
 
+std::vector<uint32_t> ScorerOnlineEngine::AllScores(uint32_t tau) const {
+  std::vector<uint32_t> scores(graph_.NumEdges(), 0);
+  for (graph::EdgeId e = 0; e < graph_.NumEdges(); ++e) {
+    const graph::Edge& uv = graph_.EdgeAt(e);
+    scores[e] = ScoreFromSizes(scorer_.EdgeValues(graph_, uv.u, uv.v), tau);
+  }
+  return scores;
+}
+
+TopKResult ScorerOnlineEngine::Query(uint32_t k, uint32_t tau,
+                                     bool pad_with_zero_edges) const {
+  if (k == 0 || tau == 0) return {};
+  counters_.AddQuery();
+  const std::vector<uint32_t> scores = AllScores(tau);
+  counters_.AddEntriesScanned(scores.size());
+  // Positive-score edges in the canonical (score desc, edge asc) order,
+  // then the documented zero-pad order — exact parity with the indexes.
+  std::vector<graph::EdgeId> positive;
+  for (graph::EdgeId e = 0; e < scores.size(); ++e) {
+    if (scores[e] > 0) positive.push_back(e);
+  }
+  std::sort(positive.begin(), positive.end(),
+            [&scores](graph::EdgeId a, graph::EdgeId b) {
+              if (scores[a] != scores[b]) return scores[a] > scores[b];
+              return a < b;
+            });
+  TopKResult out;
+  const size_t take = std::min<size_t>(k, positive.size());
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    out.push_back(ScoredEdge{graph_.EdgeAt(positive[i]), scores[positive[i]]});
+  }
+  if (pad_with_zero_edges) {
+    for (graph::EdgeId e = 0; e < scores.size() && out.size() < k; ++e) {
+      if (scores[e] == 0) out.push_back(ScoredEdge{graph_.EdgeAt(e), 0});
+    }
+  }
+  return out;
+}
+
+uint32_t ScorerOnlineEngine::ScoreOf(graph::EdgeId e, uint32_t tau) const {
+  const graph::Edge& uv = graph_.EdgeAt(e);
+  return ScoreFromSizes(scorer_.EdgeValues(graph_, uv.u, uv.v), tau);
+}
+
+uint64_t ScorerOnlineEngine::CountWithScoreAtLeast(uint32_t tau,
+                                                   uint32_t min_score) const {
+  if (min_score == 0) return graph_.NumEdges();
+  if (tau == 0) return 0;
+  uint64_t count = 0;
+  for (uint32_t score : AllScores(tau)) count += score >= min_score ? 1 : 0;
+  return count;
+}
+
+TopKResult ScorerOnlineEngine::QueryWithScoreAtLeast(uint32_t tau,
+                                                     uint32_t min_score,
+                                                     size_t limit) const {
+  TopKResult out;
+  if (tau == 0 || min_score == 0) return out;
+  const std::vector<uint32_t> scores = AllScores(tau);
+  for (graph::EdgeId e = 0; e < scores.size(); ++e) {
+    if (scores[e] >= min_score) {
+      out.push_back(ScoredEdge{graph_.EdgeAt(e), scores[e]});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ScoredEdge& a, const ScoredEdge& b) {
+                     return a.score > b.score;
+                   });
+  if (limit > 0 && out.size() > limit) out.resize(limit);
+  return out;
+}
+
 std::vector<std::string> QueryEngineNames() {
   return {"treap", "frozen", "dynamic", "online", "online-mindeg"};
 }
@@ -89,6 +162,28 @@ std::unique_ptr<EsdQueryEngine> BuildQueryEngine(const graph::Graph& g,
     *error += ")";
   }
   return nullptr;
+}
+
+std::unique_ptr<EsdQueryEngine> BuildQueryEngine(const graph::Graph& g,
+                                                 std::string_view name,
+                                                 const DiversityScorer& scorer,
+                                                 std::string* error) {
+  if (scorer.Kind() == ScorerKind::kEsd) {
+    return BuildQueryEngine(g, name, error);
+  }
+  if (name == "treap") {
+    return std::make_unique<EsdIndex>(BuildIndex(g, scorer));
+  }
+  if (name == "frozen") {
+    return std::make_unique<FrozenEsdIndex>(BuildFrozenIndex(g, scorer));
+  }
+  if (name == "dynamic") {
+    return std::make_unique<DynamicEsdIndex>(g, scorer);
+  }
+  if (name == "online" || name == "online-mindeg") {
+    return std::make_unique<ScorerOnlineEngine>(g, scorer);
+  }
+  return BuildQueryEngine(g, name, error);  // unknown name: shared error
 }
 
 void ExportEngineCounters(const EsdQueryEngine& engine,

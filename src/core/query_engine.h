@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/online_topk.h"
+#include "core/scorer.h"
 #include "core/topk_result.h"
 #include "graph/graph.h"
 
@@ -157,6 +158,11 @@ class EsdQueryEngine {
   /// instrument return all zeros. Safe concurrently with queries.
   virtual EngineCounters Counters() const { return {}; }
 
+  /// Which diversity definition this engine's scores follow (see
+  /// core/scorer.h). The historical engines predate the scorer seam and
+  /// default to ESD; scorer-parameterized engines override.
+  virtual ScorerKind Scorer() const { return ScorerKind::kEsd; }
+
  protected:
   EsdQueryEngine() = default;
   EsdQueryEngine(const EsdQueryEngine&) = default;
@@ -200,6 +206,42 @@ class OnlineQueryEngine final : public EsdQueryEngine {
   EngineCounterBlock counters_;
 };
 
+/// Index-free engine for an arbitrary scorer: answers every call by scoring
+/// edges of a borrowed graph (which must outlive the adapter) through the
+/// scorer's single-edge recompute hook. The reference implementation the
+/// scorer parity tests compare the indexed engines against; full-scan, so
+/// meant for correctness work and one-shot workloads, not serving. Follows
+/// the shared engine semantics exactly (zero-padding order, empty Query on
+/// k == 0 or tau == 0, CountWithScoreAtLeast(tau, 0) == m).
+class ScorerOnlineEngine final : public EsdQueryEngine {
+ public:
+  ScorerOnlineEngine(const graph::Graph& g, const DiversityScorer& scorer)
+      : graph_(g),
+        scorer_(scorer),
+        name_("online-" + std::string(scorer.Name())) {}
+
+  TopKResult Query(uint32_t k, uint32_t tau,
+                   bool pad_with_zero_edges = true) const override;
+  uint32_t ScoreOf(graph::EdgeId e, uint32_t tau) const override;
+  uint64_t CountWithScoreAtLeast(uint32_t tau,
+                                 uint32_t min_score) const override;
+  TopKResult QueryWithScoreAtLeast(uint32_t tau, uint32_t min_score,
+                                   size_t limit = 0) const override;
+  uint64_t MemoryBytes() const override { return 0; }
+  std::string_view EngineName() const override { return name_; }
+  ScorerKind Scorer() const override { return scorer_.Kind(); }
+  EngineCounters Counters() const override { return counters_.Snap(); }
+
+ private:
+  /// Score of every edge at `tau`, by EdgeId.
+  std::vector<uint32_t> AllScores(uint32_t tau) const;
+
+  const graph::Graph& graph_;
+  const DiversityScorer& scorer_;
+  std::string name_;  // EngineName() returns a view; owned storage
+  EngineCounterBlock counters_;
+};
+
 /// Engine names accepted by BuildQueryEngine, in presentation order.
 std::vector<std::string> QueryEngineNames();
 
@@ -210,6 +252,16 @@ std::vector<std::string> QueryEngineNames();
 std::unique_ptr<EsdQueryEngine> BuildQueryEngine(const graph::Graph& g,
                                                  std::string_view name,
                                                  std::string* error);
+
+/// Scorer-parameterized factory: same engine names, but the per-edge score
+/// definition comes from `scorer`. For the ESD scorer this dispatches to
+/// the specialized builders above; for other scorers the index engines are
+/// built through the scorer's bulk hook and the online engines become
+/// ScorerOnlineEngine full scans (both "online" and "online-mindeg" map to
+/// the same full scan — non-ESD scorers have no upper-bound pruning rules).
+std::unique_ptr<EsdQueryEngine> BuildQueryEngine(
+    const graph::Graph& g, std::string_view name,
+    const DiversityScorer& scorer, std::string* error);
 
 /// Publishes engine.Counters() as gauges `<prefix><field>` (default
 /// esd_engine_queries, esd_engine_heap_pops, ...) on `registry`, so a

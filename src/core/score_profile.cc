@@ -1,15 +1,17 @@
 #include "core/score_profile.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace esd::core {
 
-ScoreHistogram ComputeScoreHistogram(const EsdIndex& index, uint32_t tau) {
+ScoreHistogram ComputeScoreHistogram(const EsdQueryEngine& engine,
+                                     uint32_t tau) {
   ScoreHistogram out;
-  out.total_edges = index.NumRegisteredEdges();
+  out.total_edges = engine.CountWithScoreAtLeast(tau, 0);
   // Every edge in H(c*) contributes its stored score; every other edge
   // scores zero (Theorem 4 argument: no component size lies in [tau, c*)).
-  TopKResult scored = index.QueryWithScoreAtLeast(tau, 1);
+  TopKResult scored = engine.QueryWithScoreAtLeast(tau, 1);
   out.max_score = scored.empty() ? 0 : scored.front().score;
   out.count.assign(out.max_score + 1, 0);
   uint64_t sum = 0;
@@ -28,8 +30,12 @@ ScoreHistogram ComputeScoreHistogram(const EsdIndex& index, uint32_t tau) {
 uint32_t ScorePercentile(const ScoreHistogram& histogram, double fraction) {
   if (histogram.total_edges == 0) return 0;
   fraction = std::clamp(fraction, 0.0, 1.0);
-  uint64_t need = static_cast<uint64_t>(
-      fraction * static_cast<double>(histogram.total_edges));
+  // Smallest s with #{edges scoring <= s} >= ceil(fraction * total): the
+  // truncating cast here used to floor the target, so e.g. fraction 0.5
+  // over 3 edges asked for 1 edge instead of 2 and every mid-range
+  // percentile came out one bucket low on odd counts.
+  const uint64_t need = static_cast<uint64_t>(
+      std::ceil(fraction * static_cast<double>(histogram.total_edges)));
   uint64_t seen = 0;
   for (uint32_t s = 0; s < histogram.count.size(); ++s) {
     seen += histogram.count[s];

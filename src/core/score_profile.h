@@ -4,15 +4,15 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/esd_index.h"
+#include "core/query_engine.h"
 
 namespace esd::core {
 
-/// Distribution of structural-diversity scores over all edges at a fixed
-/// threshold tau — the analytics view the paper's case studies eyeball
-/// ("when tau >= 3, the structural diversity scores of most edges in DBLP
-/// are no larger than 3"). Computed straight off the index in one in-order
-/// walk of H(c*).
+/// Distribution of diversity scores over all edges at a fixed threshold
+/// tau — the analytics view the paper's case studies eyeball ("when
+/// tau >= 3, the structural diversity scores of most edges in DBLP are no
+/// larger than 3"). Computed straight off the engine in one in-order walk
+/// of H(c*); scorer-generic (works for any EsdQueryEngine, any scorer).
 struct ScoreHistogram {
   /// count[s] = number of edges with score exactly s (index 0 included).
   std::vector<uint64_t> count;
@@ -21,11 +21,15 @@ struct ScoreHistogram {
   double mean = 0.0;
 };
 
-/// Builds the histogram for threshold tau. O(|H(c*)| + max_score).
-ScoreHistogram ComputeScoreHistogram(const EsdIndex& index, uint32_t tau);
+/// Builds the histogram for threshold tau. O(|H(c*)| + max_score) on the
+/// index engines (one QueryWithScoreAtLeast walk); a full scan on the
+/// online adapters.
+ScoreHistogram ComputeScoreHistogram(const EsdQueryEngine& engine,
+                                     uint32_t tau);
 
 /// Smallest score s such that at least `fraction` of all edges score <= s.
-/// fraction in [0,1]; returns 0 for empty indexes.
+/// fraction in [0,1] (clamped); fraction 0.0 and empty histograms return 0,
+/// fraction 1.0 returns max_score.
 uint32_t ScorePercentile(const ScoreHistogram& histogram, double fraction);
 
 }  // namespace esd::core

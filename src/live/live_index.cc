@@ -45,12 +45,15 @@ std::unique_ptr<LiveEsdIndex> LiveEsdIndex::Open(const graph::Graph& bootstrap,
   RecoveryOptions rec_options;
   rec_options.wal_path = options.wal_path;
   rec_options.snapshot_path = options.snapshot_path;
+  rec_options.expected_scorer = options.scorer;
   RecoveredState state;
   if (!Recover(bootstrap, rec_options, &state, error)) return nullptr;
 
   std::unique_ptr<LiveEsdIndex> live(
       new LiveEsdIndex(options, std::move(state)));
-  if (!live->wal_.Open(options.wal_path, error)) return nullptr;
+  if (!live->wal_.Open(options.wal_path, error, options.scorer)) {
+    return nullptr;
+  }
   return live;
 }
 
@@ -58,7 +61,7 @@ LiveEsdIndex::LiveEsdIndex(const LiveOptions& options, RecoveredState recovered)
     : options_(options), recovered_(std::move(recovered)) {
   manager_ = std::make_unique<EpochSnapshotManager>(
       recovered_.graph.Snapshot(), recovered_.applied_seq,
-      options_.pool_threads);
+      options_.pool_threads, core::ScorerForKind(options_.scorer));
   manager_->ConfigureBreaker(options_.refreeze_breaker_threshold,
                              options_.refreeze_breaker_cooldown);
   next_seq_ = recovered_.applied_seq + 1;
@@ -261,7 +264,8 @@ bool LiveEsdIndex::Checkpoint(std::string* error) {
   graph::DynamicGraph g;
   uint64_t seq = 0;
   manager_->GraphCopy(&g, &seq);
-  if (!SaveGraphSnapshot(options_.snapshot_path, g, seq, error)) {
+  if (!SaveGraphSnapshot(options_.snapshot_path, g, seq, error,
+                         options_.scorer)) {
     ++checkpoint_failures_;
     c_failures.Inc();
     return false;

@@ -25,6 +25,10 @@ namespace esd::live {
 struct LiveOptions {
   std::string wal_path;       ///< required
   std::string snapshot_path;  ///< optional: empty disables checkpoints
+  /// Diversity scorer this index maintains. The WAL and snapshot files
+  /// are stamped with it: opening a directory written under a different
+  /// scorer fails typed instead of replaying the wrong semantics.
+  core::ScorerKind scorer = core::ScorerKind::kEsd;
   /// Re-freeze (publish a new read epoch) every this many applied updates;
   /// 0 disables automatic refreezes (callers drive RefreezeNow/Checkpoint).
   uint64_t refreeze_every = 256;

@@ -55,6 +55,16 @@ bool Recover(const graph::Graph& bootstrap, const RecoveryOptions& options,
     if (!LoadGraphSnapshot(options.snapshot_path, &snap, error)) {
       return false;  // a snapshot that exists but cannot be read is fatal
     }
+    if (snap.scorer != options.expected_scorer) {
+      return SetError(
+          error,
+          "snapshot scorer mismatch: " + options.snapshot_path +
+              " belongs to scorer '" +
+              std::string(core::ScorerKindName(snap.scorer)) +
+              "' but recovery expects '" +
+              std::string(core::ScorerKindName(options.expected_scorer)) +
+              "'");
+    }
     state->graph = graph::DynamicGraph(snap.num_vertices);
     for (const graph::Edge& e : snap.edges) state->graph.InsertEdge(e.u, e.v);
     state->snapshot_seq = snap.applied_seq;
@@ -78,6 +88,21 @@ bool Recover(const graph::Graph& bootstrap, const RecoveryOptions& options,
         },
         &state->wal, error);
     if (!ok) return false;
+    if (state->wal.scorer != options.expected_scorer &&
+        (state->wal.records > 0 ||
+         state->wal.valid_bytes >= kWalFileHeaderBytes)) {
+      // A log that replayed at least its header under another scorer's id
+      // must not be adopted; an absent/empty/torn-header log carries no
+      // scorer claim and stays usable.
+      return SetError(
+          error, "wal scorer mismatch: " + options.wal_path +
+                     " belongs to scorer '" +
+                     std::string(core::ScorerKindName(state->wal.scorer)) +
+                     "' but recovery expects '" +
+                     std::string(core::ScorerKindName(
+                         options.expected_scorer)) +
+                     "'");
+    }
 
     // 3. Compact a torn tail so the writer can reopen the log for appends.
     if (options.truncate_torn_tail &&

@@ -17,6 +17,11 @@ struct RecoveryOptions {
   /// When true (the default), a torn WAL tail is truncated back to the
   /// last valid record so the log can be reopened for appending.
   bool truncate_torn_tail = true;
+  /// Scorer this recovery serves. A snapshot or WAL stamped with a
+  /// different scorer id is an unrecoverable mismatch (replaying another
+  /// definition's updates would silently produce wrong scores); legacy
+  /// files without an id count as kEsd.
+  core::ScorerKind expected_scorer = core::ScorerKind::kEsd;
 };
 
 /// What Recover() reconstructed.

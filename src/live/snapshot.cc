@@ -23,7 +23,8 @@ namespace esd::live {
 namespace {
 
 constexpr char kSnapshotMagic[4] = {'E', 'S', 'D', 'S'};
-constexpr uint32_t kSnapshotVersion = 1;
+constexpr uint32_t kSnapshotVersion = 1;        // no scorer id, reads as kEsd
+constexpr uint32_t kSnapshotVersionScorer = 2;  // leading u32 scorer id
 
 bool SetError(std::string* error, const std::string& what) {
   if (error != nullptr) *error = what;
@@ -133,7 +134,8 @@ SnapshotDirFsyncHandler SetSnapshotDirFsyncHandler(
 }
 
 bool SaveGraphSnapshot(const std::string& path, const graph::DynamicGraph& g,
-                       uint64_t applied_seq, std::string* error) {
+                       uint64_t applied_seq, std::string* error,
+                       core::ScorerKind scorer) {
   std::vector<graph::Edge> edges;
   edges.reserve(g.NumEdges());
   for (graph::VertexId u = 0; u < g.NumVertices(); ++u) {
@@ -143,9 +145,10 @@ bool SaveGraphSnapshot(const std::string& path, const graph::DynamicGraph& g,
   }
   std::ostringstream out(std::ios::binary);
   out.write(kSnapshotMagic, sizeof(kSnapshotMagic));
-  uint32_t version = kSnapshotVersion;
+  uint32_t version = kSnapshotVersionScorer;
   out.write(reinterpret_cast<const char*>(&version), sizeof(version));
   core::BinaryWriter w(out);
+  w.Put(static_cast<uint32_t>(scorer));
   w.Put(applied_seq);
   w.Put(g.NumVertices());
   w.PutArray(std::span<const graph::Edge>(edges));
@@ -166,11 +169,21 @@ bool LoadGraphSnapshot(const std::string& path, GraphSnapshotData* out,
     return SetError(error, "bad magic: " + path + " is not an ESDS snapshot");
   }
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
-  if (!in || version != kSnapshotVersion) {
+  if (!in ||
+      (version != kSnapshotVersion && version != kSnapshotVersionScorer)) {
     return SetError(error, "unsupported snapshot version");
   }
   core::BinaryReader r(in);
   GraphSnapshotData data;
+  if (version == kSnapshotVersionScorer) {
+    uint32_t raw = 0;
+    if (!r.Get(&raw)) return SetError(error, "truncated snapshot file");
+    if (!core::ValidScorerKind(raw)) {
+      return SetError(error, "corrupt snapshot: unknown scorer id " +
+                                 std::to_string(raw));
+    }
+    data.scorer = static_cast<core::ScorerKind>(raw);
+  }
   if (!r.Get(&data.applied_seq) || !r.Get(&data.num_vertices) ||
       !r.GetArray(&data.edges)) {
     return SetError(error, r.error() != nullptr
@@ -193,8 +206,9 @@ bool LoadGraphSnapshot(const std::string& path, GraphSnapshotData* out,
 
 EpochSnapshotManager::EpochSnapshotManager(const graph::Graph& base,
                                            uint64_t base_seq,
-                                           unsigned pool_threads)
-    : writer_(base),
+                                           unsigned pool_threads,
+                                           const core::DiversityScorer& scorer)
+    : writer_(base, scorer),
       applied_seq_(base_seq),
       pool_(std::max(2u, pool_threads)) {
   Publish(core::Freeze(writer_.Index()), base_seq);

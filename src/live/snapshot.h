@@ -39,17 +39,21 @@ struct EpochSnapshot {
 };
 
 /// The persisted half of a checkpoint: the writer graph plus its update
-/// watermark ("ESDS" v1 file: header, u64 applied_seq, u32 num_vertices,
-/// length-prefixed edge array, trailing u64 FNV-1a checksum — same
-/// conventions as index_io, written atomically via tmp-file + rename).
+/// watermark ("ESDS" file: header, then — v2 only — u32 scorer id, u64
+/// applied_seq, u32 num_vertices, length-prefixed edge array, trailing u64
+/// FNV-1a checksum, same conventions as index_io, written atomically via
+/// tmp-file + rename). v1 files carry no scorer id and load as kEsd; new
+/// snapshots are always written v2.
 struct GraphSnapshotData {
   uint64_t applied_seq = 0;
   graph::VertexId num_vertices = 0;
   std::vector<graph::Edge> edges;
+  core::ScorerKind scorer = core::ScorerKind::kEsd;
 };
 
 bool SaveGraphSnapshot(const std::string& path, const graph::DynamicGraph& g,
-                       uint64_t applied_seq, std::string* error);
+                       uint64_t applied_seq, std::string* error,
+                       core::ScorerKind scorer = core::ScorerKind::kEsd);
 bool LoadGraphSnapshot(const std::string& path, GraphSnapshotData* out,
                        std::string* error);
 
@@ -82,10 +86,14 @@ SnapshotDirFsyncHandler SetSnapshotDirFsyncHandler(
 ///     queued on the pool at a time.
 class EpochSnapshotManager {
  public:
-  /// Bootstraps the writer index from `base` (a from-scratch 4-clique
-  /// build) and publishes epoch 0 covering `base_seq`.
+  /// Bootstraps the writer index from `base` (a from-scratch build under
+  /// `scorer` — the ESD 4-clique build for the default EsdScorer()) and
+  /// publishes epoch 0 covering `base_seq`. `scorer` must outlive the
+  /// manager; the built-in scorers are process-lifetime singletons.
   EpochSnapshotManager(const graph::Graph& base, uint64_t base_seq,
-                       unsigned pool_threads);
+                       unsigned pool_threads,
+                       const core::DiversityScorer& scorer =
+                           core::EsdScorer());
 
   /// Joins in-flight background refreezes (the pool drains before exit).
   ~EpochSnapshotManager() = default;

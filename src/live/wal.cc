@@ -17,7 +17,8 @@ namespace esd::live {
 namespace {
 
 constexpr char kWalMagic[4] = {'E', 'S', 'D', 'W'};
-constexpr uint32_t kWalVersion = 1;
+constexpr uint32_t kWalVersion = 1;        // 8-byte header, implicitly kEsd
+constexpr uint32_t kWalVersionScorer = 2;  // 12-byte header with scorer id
 
 void EncodeU32(char* dst, uint32_t v) { std::memcpy(dst, &v, sizeof(v)); }
 void EncodeU64(char* dst, uint64_t v) { std::memcpy(dst, &v, sizeof(v)); }
@@ -115,12 +116,32 @@ bool ReplayWal(const std::string& path,
     result->tail = WalTailStatus::kTruncatedRecord;
     return true;
   }
+  const uint32_t version = DecodeU32(header + 4);
   if (std::memcmp(header, kWalMagic, sizeof(kWalMagic)) != 0 ||
-      DecodeU32(header + 4) != kWalVersion) {
+      (version != kWalVersion && version != kWalVersionScorer)) {
     result->tail = WalTailStatus::kBadFileHeader;
     return SetError(error, "bad wal header: " + path + " is not an ESDW log");
   }
   result->valid_bytes = kWalFileHeaderBytes;
+  if (version == kWalVersionScorer) {
+    char scorer_field[4];
+    in.read(scorer_field, sizeof(scorer_field));
+    if (in.gcount() < static_cast<std::streamsize>(sizeof(scorer_field))) {
+      // Torn mid-header: nothing was ever logged.
+      result->valid_bytes = 0;
+      result->tail = WalTailStatus::kTruncatedRecord;
+      return true;
+    }
+    const uint32_t raw = DecodeU32(scorer_field);
+    if (!core::ValidScorerKind(raw)) {
+      result->tail = WalTailStatus::kBadFileHeader;
+      return SetError(error, "bad wal header: " + path +
+                                 " names unknown scorer id " +
+                                 std::to_string(raw));
+    }
+    result->scorer = static_cast<core::ScorerKind>(raw);
+    result->valid_bytes = kWalFileHeaderBytesV2;
+  }
 
   // Fixed stack buffer: a corrupt length prefix can never over-allocate.
   char payload[kMaxWalRecordBytes];
@@ -170,7 +191,8 @@ void WalWriter::Close() {
   }
 }
 
-bool WalWriter::Open(const std::string& path, std::string* error) {
+bool WalWriter::Open(const std::string& path, std::string* error,
+                     core::ScorerKind scorer) {
   Close();
   last_status_ = WalIoStatus::kOk;
   last_errno_ = 0;
@@ -196,9 +218,11 @@ bool WalWriter::Open(const std::string& path, std::string* error) {
   }
   bytes_ = static_cast<uint64_t>(st.st_size);
   if (bytes_ == 0) {
-    char header[kWalFileHeaderBytes];
+    // Fresh log: always the v2 header, stamped with the caller's scorer.
+    char header[kWalFileHeaderBytesV2];
     std::memcpy(header, kWalMagic, sizeof(kWalMagic));
-    EncodeU32(header + 4, kWalVersion);
+    EncodeU32(header + 4, kWalVersionScorer);
+    EncodeU32(header + 8, static_cast<uint32_t>(scorer));
     const util::WriteResult wr = util::WriteFully(fd_, header, sizeof(header));
     eintr_retries_ += wr.eintr_retries;
     if (!wr.ok) {
@@ -213,7 +237,8 @@ bool WalWriter::Open(const std::string& path, std::string* error) {
       Close();
       return false;
     }
-    bytes_ = kWalFileHeaderBytes;
+    bytes_ = kWalFileHeaderBytesV2;
+    header_bytes_ = kWalFileHeaderBytesV2;
     return true;
   }
   if (bytes_ < kWalFileHeaderBytes) {
@@ -221,14 +246,44 @@ bool WalWriter::Open(const std::string& path, std::string* error) {
     return SetError(error, "wal file " + path +
                                " has a torn header; run recovery first");
   }
-  // Verify we are appending to our own format, not someone else's file.
+  // Verify we are appending to our own format, not someone else's file,
+  // and to our own scorer's log, not another engine's.
   std::ifstream in(path, std::ios::binary);
   char header[kWalFileHeaderBytes];
   in.read(header, sizeof(header));
+  const uint32_t version = in ? DecodeU32(header + 4) : 0;
   if (!in || std::memcmp(header, kWalMagic, sizeof(kWalMagic)) != 0 ||
-      DecodeU32(header + 4) != kWalVersion) {
+      (version != kWalVersion && version != kWalVersionScorer)) {
     Close();
     return SetError(error, "bad wal header: " + path + " is not an ESDW log");
+  }
+  core::ScorerKind file_scorer = core::ScorerKind::kEsd;
+  header_bytes_ = kWalFileHeaderBytes;
+  if (version == kWalVersionScorer) {
+    char scorer_field[4];
+    in.read(scorer_field, sizeof(scorer_field));
+    if (!in || bytes_ < kWalFileHeaderBytesV2) {
+      Close();
+      return SetError(error, "wal file " + path +
+                                 " has a torn header; run recovery first");
+    }
+    const uint32_t raw = DecodeU32(scorer_field);
+    if (!core::ValidScorerKind(raw)) {
+      Close();
+      return SetError(error, "bad wal header: " + path +
+                                 " names unknown scorer id " +
+                                 std::to_string(raw));
+    }
+    file_scorer = static_cast<core::ScorerKind>(raw);
+    header_bytes_ = kWalFileHeaderBytesV2;
+  }
+  if (file_scorer != scorer) {
+    Close();
+    return SetError(
+        error, "wal scorer mismatch: " + path + " belongs to scorer '" +
+                   std::string(core::ScorerKindName(file_scorer)) +
+                   "' but this index uses '" +
+                   std::string(core::ScorerKindName(scorer)) + "'");
   }
   return true;
 }
@@ -326,13 +381,13 @@ bool WalWriter::TruncateAll(std::string* error) {
     return SetError(error, std::string("wal truncate failed: ") +
                                std::strerror(hit.error_code) + " [injected]");
   }
-  if (::ftruncate(fd_, kWalFileHeaderBytes) != 0) {
+  if (::ftruncate(fd_, static_cast<off_t>(header_bytes_)) != 0) {
     last_status_ = WalIoStatus::kIoError;
     last_errno_ = errno;
     return SetError(error, std::string("wal truncate failed: ") +
                                std::strerror(errno));
   }
-  bytes_ = kWalFileHeaderBytes;
+  bytes_ = header_bytes_;
   tail_dirty_ = false;
   return Sync(error);
 }

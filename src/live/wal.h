@@ -6,6 +6,7 @@
 #include <functional>
 #include <string>
 
+#include "core/scorer.h"
 #include "graph/graph.h"
 
 namespace esd::live {
@@ -60,13 +61,18 @@ struct WalReplayResult {
   uint64_t last_seq = 0;    ///< seq of the last valid record (0 if none)
   uint64_t valid_bytes = 0; ///< replayable prefix length, incl. file header
   WalTailStatus tail = WalTailStatus::kClean;
+  /// Scorer the log belongs to (v2 header field; v1 logs are kEsd).
+  core::ScorerKind scorer = core::ScorerKind::kEsd;
 };
 
 /// On-disk layout (native byte order, like every format in this repo):
-///   file header: magic "ESDW" + u32 version (1)
-///   records:     u32 payload_len | u64 fnv1a(payload) | payload
-///   v1 payload:  u64 seq | u8 kind | u32 u | u32 v      (17 bytes)
+///   v1 file header: magic "ESDW" + u32 version (1)
+///   v2 file header: magic "ESDW" + u32 version (2) + u32 scorer id
+///   records:        u32 payload_len | u64 fnv1a(payload) | payload
+///   payload:        u64 seq | u8 kind | u32 u | u32 v      (17 bytes)
+/// Both header versions replay; fresh logs are always written v2.
 inline constexpr size_t kWalFileHeaderBytes = 8;
+inline constexpr size_t kWalFileHeaderBytesV2 = 12;
 inline constexpr size_t kWalRecordHeaderBytes = 12;
 inline constexpr uint32_t kWalPayloadBytes = 17;
 /// Hard bound on a record's claimed payload length. A corrupt or hostile
@@ -102,11 +108,14 @@ class WalWriter {
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
 
-  /// Opens `path` for appending, creating it (with a fresh file header) if
-  /// missing or empty. The caller must have truncated any torn tail first
-  /// (recovery does); an existing file with a foreign or partial header is
-  /// refused rather than clobbered.
-  bool Open(const std::string& path, std::string* error);
+  /// Opens `path` for appending, creating it (with a fresh v2 file header
+  /// stamped with `scorer`) if missing or empty. The caller must have
+  /// truncated any torn tail first (recovery does); an existing file with
+  /// a foreign or partial header is refused rather than clobbered, and so
+  /// is a log whose header names a different scorer (v1 logs count as
+  /// kEsd) — appending another scorer's updates would poison replay.
+  bool Open(const std::string& path, std::string* error,
+            core::ScorerKind scorer = core::ScorerKind::kEsd);
 
   /// Appends one record (not yet durable; call Sync()). On failure the
   /// typed cause is in last_status()/last_errno() and the file has been
@@ -140,6 +149,9 @@ class WalWriter {
 
   int fd_ = -1;
   uint64_t bytes_ = 0;
+  /// Length of the file header Open() found or wrote (8 for an adopted v1
+  /// log, 12 for v2) — TruncateAll must cut back to exactly this.
+  uint64_t header_bytes_ = kWalFileHeaderBytes;
   WalIoStatus last_status_ = WalIoStatus::kOk;
   int last_errno_ = 0;
   uint64_t eintr_retries_ = 0;

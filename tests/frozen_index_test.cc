@@ -356,12 +356,13 @@ TEST(IndexIoV2Test, CorruptV2Rejected) {
   }
 }
 
-/// Byte offsets (into a serialized v2 stream) of each array's u64 element
-/// count, derived from the actual array lengths: 4 magic + 4 version, then
-/// per array an 8-byte count followed by the payload.
+/// Byte offsets (into a serialized frozen stream) of each array's u64
+/// element count, derived from the actual array lengths: 4 magic + 4
+/// version + 4 scorer id, then per array an 8-byte count followed by the
+/// payload.
 std::vector<size_t> V2CountOffsets(const FrozenEsdIndex& frozen) {
   std::vector<size_t> offsets;
-  size_t pos = 8;
+  size_t pos = 12;
   const size_t payload_bytes[] = {
       frozen.Edges().size() * sizeof(graph::Edge),
       frozen.LiveMask().size() * sizeof(uint8_t),
@@ -431,9 +432,9 @@ TEST(IndexIoV2Test, TruncatedBlockRejected) {
   ASSERT_TRUE(core::SerializeFrozenIndex(frozen, buf, &error)) << error;
   const std::string good = buf.str();
 
-  // End inside the first element of the edges array: header (8) + count
-  // (8) + half an edge.
-  for (size_t keep : {size_t{16}, size_t{16 + sizeof(graph::Edge) / 2},
+  // End inside the first element of the edges array: header (8) + scorer
+  // (4) + count (8) + half an edge.
+  for (size_t keep : {size_t{20}, size_t{20 + sizeof(graph::Edge) / 2},
                       good.size() / 2}) {
     std::stringstream in(good.substr(0, keep));
     FrozenEsdIndex out;

@@ -177,23 +177,24 @@ TEST(LiveWalTest, TruncationSweepDeliversLongestValidPrefix) {
         &error))
         << "cut=" << cut << ": " << error;
     const size_t whole_records =
-        cut < live::kWalFileHeaderBytes
+        cut < live::kWalFileHeaderBytesV2
             ? 0
-            : (cut - live::kWalFileHeaderBytes) / record_bytes;
+            : (cut - live::kWalFileHeaderBytesV2) / record_bytes;
     EXPECT_EQ(delivered, whole_records) << "cut=" << cut;
     EXPECT_EQ(result.records, whole_records) << "cut=" << cut;
     const bool at_boundary =
-        cut == 0 || (cut >= live::kWalFileHeaderBytes &&
-                     (cut - live::kWalFileHeaderBytes) % record_bytes == 0);
+        cut == 0 || (cut >= live::kWalFileHeaderBytesV2 &&
+                     (cut - live::kWalFileHeaderBytesV2) % record_bytes == 0);
     EXPECT_EQ(result.tail == WalTailStatus::kClean, at_boundary)
         << "cut=" << cut;
     if (!at_boundary) {
       EXPECT_EQ(result.tail, WalTailStatus::kTruncatedRecord)
           << "cut=" << cut;
       EXPECT_EQ(result.valid_bytes,
-                cut < live::kWalFileHeaderBytes
+                cut < live::kWalFileHeaderBytesV2
                     ? 0
-                    : live::kWalFileHeaderBytes + whole_records * record_bytes)
+                    : live::kWalFileHeaderBytesV2 +
+                          whole_records * record_bytes)
           << "cut=" << cut;
     }
   }
@@ -220,7 +221,7 @@ TEST(LiveWalTest, BitFlipSweepNeverCrashesAndTypesTheTail) {
     const bool ok = live::ReplayWal(
         flipped, [&delivered](const WalRecord&) { ++delivered; }, &result,
         &error);
-    if (pos < live::kWalFileHeaderBytes) {
+    if (pos < live::kWalFileHeaderBytesV2) {
       EXPECT_FALSE(ok) << "pos=" << pos;
       EXPECT_EQ(result.tail, WalTailStatus::kBadFileHeader) << "pos=" << pos;
       EXPECT_EQ(delivered, 0u);
@@ -231,7 +232,8 @@ TEST(LiveWalTest, BitFlipSweepNeverCrashesAndTypesTheTail) {
     // those after; everything before replays intact.
     const size_t record_bytes =
         live::kWalRecordHeaderBytes + live::kWalPayloadBytes;
-    const size_t hit_record = (pos - live::kWalFileHeaderBytes) / record_bytes;
+    const size_t hit_record =
+        (pos - live::kWalFileHeaderBytesV2) / record_bytes;
     EXPECT_EQ(delivered, hit_record) << "pos=" << pos;
     EXPECT_NE(result.tail, WalTailStatus::kClean) << "pos=" << pos;
     EXPECT_NE(result.tail, WalTailStatus::kBadFileHeader) << "pos=" << pos;
@@ -307,7 +309,7 @@ TEST(LiveWalTest, TruncateAllKeepsHeaderAndAcceptsAppends) {
   std::string error;
   ASSERT_TRUE(w.Open(path, &error)) << error;
   ASSERT_TRUE(w.TruncateAll(&error)) << error;
-  EXPECT_EQ(w.SizeBytes(), live::kWalFileHeaderBytes);
+  EXPECT_EQ(w.SizeBytes(), live::kWalFileHeaderBytesV2);
 
   WalRecord rec;
   rec.seq = 100;
@@ -529,9 +531,9 @@ TEST(LiveIndexTest, CheckpointCompactsTheLog) {
 
   const std::vector<LiveUpdate> updates = RandomUpdates(64, 40, 99);
   ASSERT_EQ(live->ApplyBatch(updates, &error), updates.size()) << error;
-  EXPECT_GT(live->Stats().wal_bytes, live::kWalFileHeaderBytes);
+  EXPECT_GT(live->Stats().wal_bytes, live::kWalFileHeaderBytesV2);
   ASSERT_TRUE(live->Checkpoint(&error)) << error;
-  EXPECT_EQ(live->Stats().wal_bytes, live::kWalFileHeaderBytes);
+  EXPECT_EQ(live->Stats().wal_bytes, live::kWalFileHeaderBytesV2);
   EXPECT_TRUE(fs::exists(dir.Path("snap.bin")));
 
   // Updates after the checkpoint land in the compacted log and survive.

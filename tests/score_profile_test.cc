@@ -76,6 +76,45 @@ TEST(ScoreProfileTest, PercentileMonotone) {
   EXPECT_EQ(ScorePercentile(h, 1.0), h.max_score);
 }
 
+TEST(ScoreProfileTest, PercentileBoundaries) {
+  // Hand-built histogram: 4 edges at 0, 3 at 1, 2 at 2, 1 at 5.
+  ScoreHistogram h;
+  h.count = {4, 3, 2, 0, 0, 1};
+  h.total_edges = 10;
+  h.max_score = 5;
+
+  // fraction 0.0 is "at least none of the edges" — always score 0, even
+  // though the cumulative count at 0 is positive.
+  EXPECT_EQ(ScorePercentile(h, 0.0), 0u);
+  // fraction 1.0 must reach the exact max, not overshoot past it.
+  EXPECT_EQ(ScorePercentile(h, 1.0), 5u);
+  // Out-of-range fractions clamp instead of indexing out of bounds.
+  EXPECT_EQ(ScorePercentile(h, -0.5), 0u);
+  EXPECT_EQ(ScorePercentile(h, 1.5), 5u);
+
+  // Interior fractions: ceil semantics. 40% of edges score <= 0; the
+  // smallest s covering 41% is 1; covering 95% is 5.
+  EXPECT_EQ(ScorePercentile(h, 0.4), 0u);
+  EXPECT_EQ(ScorePercentile(h, 0.41), 1u);
+  EXPECT_EQ(ScorePercentile(h, 0.7), 1u);
+  EXPECT_EQ(ScorePercentile(h, 0.9), 2u);
+  EXPECT_EQ(ScorePercentile(h, 0.95), 5u);
+
+  // Empty histogram: every fraction is 0.
+  ScoreHistogram empty;
+  for (double f : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(ScorePercentile(empty, f), 0u);
+  }
+
+  // Single-bucket histogram (all edges score 0).
+  ScoreHistogram zeros;
+  zeros.count = {7};
+  zeros.total_edges = 7;
+  for (double f : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(ScorePercentile(zeros, f), 0u);
+  }
+}
+
 TEST(ScoreProfileTest, PaperObservationDblpScoresSmallForLargeTau) {
   // Exp-7: "when tau >= 3, the structural diversity scores of most edges
   // ... are no larger than 3". Check the same qualitative fact on the
