@@ -22,6 +22,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -54,15 +55,16 @@ using esd::serve::MetricsSnapshot;
 using esd::serve::QueryRequest;
 using esd::serve::ResponseStatus;
 
-/// Zipf(s=1) sampler over ranks 0..n-1: weight 1/(rank+1). Matches the
+/// Zipf(s) sampler over ranks 0..n-1: weight (rank+1)^-s. s=1 matches the
 /// usual serving-traffic skew (a few hot parameter combinations, a long
-/// tail of rare ones).
+/// tail of rare ones); s=0 degenerates to uniform; larger s concentrates
+/// harder — the knob the skew sweep turns.
 class Zipf {
  public:
-  explicit Zipf(size_t n) : cdf_(n) {
+  explicit Zipf(size_t n, double s = 1.0) : cdf_(n) {
     double sum = 0;
     for (size_t i = 0; i < n; ++i) {
-      sum += 1.0 / static_cast<double>(i + 1);
+      sum += s == 0.0 ? 1.0 : 1.0 / std::pow(static_cast<double>(i + 1), s);
       cdf_[i] = sum;
     }
     for (double& c : cdf_) c /= sum;
@@ -83,6 +85,15 @@ struct Workload {
   std::vector<uint32_t> ks{10, 1, 50, 100};  // rank order = popularity
   Zipf tau_zipf{taus.size()};
   Zipf k_zipf{ks.size()};
+
+  Workload() = default;
+  /// Custom ladders with one skew exponent for both dimensions — the skew
+  /// sweep's constructor.
+  Workload(std::vector<uint32_t> t, std::vector<uint32_t> kk, double s)
+      : taus(std::move(t)),
+        ks(std::move(kk)),
+        tau_zipf(taus.size(), s),
+        k_zipf(ks.size(), s) {}
 
   QueryRequest Draw(esd::util::Rng& rng) const {
     QueryRequest rq;
@@ -122,13 +133,20 @@ void EmitServeJson(const std::string& dataset, const std::string& op,
 }
 
 /// Closed loop: `clients` threads submit-and-wait until `total` requests
-/// have been answered. Returns achieved qps.
+/// have been answered. Returns achieved qps. cache_bytes > 0 turns on the
+/// service's result cache (capacity `cache_entries`, one shard so the
+/// capacity semantics are exact) and fills *out_cache.
 double RunClosedLoop(const FrozenEsdIndex& frozen, const Workload& mix,
                      unsigned workers, unsigned clients, uint64_t total,
-                     MetricsSnapshot* out_snap, double* out_wall_ms) {
+                     MetricsSnapshot* out_snap, double* out_wall_ms,
+                     size_t cache_bytes = 0, size_t cache_entries = 16,
+                     esd::serve::ResultCache::Stats* out_cache = nullptr) {
   EsdQueryService::Options opts;
   opts.num_threads = workers;
   opts.max_queue = 1 << 15;
+  opts.cache_bytes = cache_bytes;
+  opts.cache_entries = cache_entries;
+  opts.cache_shards = 1;
   EsdQueryService service(frozen, opts);
   // Signed: fetch_sub may legitimately run the shared ticket counter below
   // zero (one overshoot per client); unsigned would wrap and never stop.
@@ -148,6 +166,9 @@ double RunClosedLoop(const FrozenEsdIndex& frozen, const Workload& mix,
   const double wall_s = wall.ElapsedSeconds();
   service.Stop();
   *out_snap = service.metrics().Snap();
+  if (out_cache != nullptr && service.cache() != nullptr) {
+    *out_cache = service.cache()->Snap();
+  }
   *out_wall_ms = wall_s * 1e3;
   return static_cast<double>(total) / wall_s;
 }
@@ -416,6 +437,74 @@ int main() {
       std::fprintf(stderr, "live-mixed mode failed\n");
       return 1;
     }
+  }
+
+  // Skew sweep: a capacity-limited result cache under growing traffic
+  // concentration. Wider (tau, k) ladders than the main mix so the uniform
+  // end genuinely thrashes the 16-entry cache, while Zipf s=1.5 parks its
+  // mass on a handful of hot combinations; the final row repeats the most
+  // skewed point with the cache off — the miss-path cost every hit elides.
+  {
+    // Deep-scan mix, popularity-ordered so the HOT combinations are the
+    // expensive ones: high tau leaves a near-empty slab, and the deep k
+    // then falls into the O(m) zero-padding edge scan — the regime a
+    // result cache exists for ("export the full diversity ranking"
+    // dashboards, not point lookups). A miss costs an edge scan; a hit is
+    // one result copy.
+    const std::vector<uint32_t> skew_taus{32, 24, 16, 12, 8, 6, 4, 3, 2, 1};
+    const std::vector<uint32_t> skew_ks{5000, 2000, 1000, 500, 200, 100};
+    const uint64_t sweep_total = static_cast<uint64_t>(20000 * scale);
+    const unsigned workers = 2;  // execution-bound: cache wins show in qps
+    const unsigned clients = 4;
+    constexpr size_t kCacheBytes = 4u << 20;
+    constexpr size_t kCacheEntries = 16;
+    std::printf(
+        "\nskew sweep: %zu-entry result cache, %zux%zu (tau,k) ladder\n",
+        kCacheEntries, skew_taus.size(), skew_ks.size());
+    std::printf("%-20s %8s %10s %10s %10s %9s\n", "op", "zipf_s", "qps",
+                "p99(us)", "hits", "hit_rate");
+    double cached_qps = 0;
+    double uncached_qps = 0;
+    struct SkewCfg {
+      double s;
+      bool cache;
+    };
+    for (const SkewCfg cfg : {SkewCfg{0.0, true}, SkewCfg{0.75, true},
+                              SkewCfg{1.5, true}, SkewCfg{1.5, false}}) {
+      const Workload skew(skew_taus, skew_ks, cfg.s);
+      MetricsSnapshot snap;
+      double wall_ms = 0;
+      serve::ResultCache::Stats cstats;
+      const double qps = RunClosedLoop(
+          frozen, skew, workers, clients, sweep_total, &snap, &wall_ms,
+          cfg.cache ? kCacheBytes : 0, kCacheEntries, &cstats);
+      if (cfg.cache && cfg.s == 1.5) cached_qps = qps;
+      if (!cfg.cache) uncached_qps = qps;
+      char op[40];
+      std::snprintf(op, sizeof(op), "skew-s%.2f-%s", cfg.s,
+                    cfg.cache ? "cache" : "nocache");
+      std::printf("%-20s %8.2f %10.0f %10.1f %10llu %8.1f%%\n", op, cfg.s,
+                  qps, snap.total.p99_us,
+                  static_cast<unsigned long long>(cstats.hits),
+                  100.0 * cstats.hit_rate);
+      std::printf(
+          "{\"bench\":\"serve_load\",\"engine\":\"frozen\",\"scorer\":\"%s\","
+          "\"dataset\":\"%s\",\"op\":\"%s\",\"wall_ms\":%.6f,"
+          "\"qps\":%.1f,%s,\"zipf_s\":%.2f,\"cache\":%s,"
+          "\"cache_hits\":%llu,\"cache_misses\":%llu,"
+          "\"cache_evictions\":%llu,\"cache_hit_rate\":%.4f}\n",
+          std::string(g_scorer->Name()).c_str(), d.name.c_str(), op, wall_ms,
+          qps, serve::MetricsJsonFields(snap).c_str(), cfg.s,
+          cfg.cache ? "true" : "false",
+          static_cast<unsigned long long>(cstats.hits),
+          static_cast<unsigned long long>(cstats.misses),
+          static_cast<unsigned long long>(cstats.evictions),
+          cstats.hit_rate);
+    }
+    std::printf("  cache speedup at s=1.5: %.2fx (on %.0f qps / off %.0f "
+                "qps)\n",
+                uncached_qps > 0 ? cached_qps / uncached_qps : 0.0,
+                cached_qps, uncached_qps);
   }
 
   std::printf(

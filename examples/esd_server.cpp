@@ -81,7 +81,7 @@ void Usage() {
                "                  [--scorer esd|truss|egobw]\n"
                "                  [--clients C] [--requests R]\n"
                "                  [--max-queue Q] [--deadline-us D]\n"
-               "                  [--load-index P]\n"
+               "                  [--load-index P] [--cache-bytes B]\n"
                "                  [--live-dir DIR] [--refreeze-every N]\n",
                esd::kVersionString);
 }
@@ -114,6 +114,7 @@ int main(int argc, char** argv) {
   size_t max_queue = 1024;
   uint64_t deadline_us = 0;
   uint64_t refreeze_every = 256;
+  size_t cache_bytes = 0;  // 0 = result cache off
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -149,6 +150,8 @@ int main(int argc, char** argv) {
       live_dir = next();
     } else if (arg == "--refreeze-every") {
       refreeze_every = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--cache-bytes") {
+      cache_bytes = static_cast<size_t>(std::atoll(next()));
     } else {
       Usage();
       return 2;
@@ -254,6 +257,7 @@ int main(int argc, char** argv) {
   serve::EsdQueryService::Options opts;
   opts.num_threads = threads;
   opts.max_queue = max_queue;
+  opts.cache_bytes = cache_bytes;
   // Host the service metrics on the process-wide registry so METRICS can
   // dump them alongside the engine counters and phase gauges.
   opts.registry = &obs::MetricRegistry::Global();
@@ -263,17 +267,36 @@ int main(int argc, char** argv) {
     live::LiveEsdIndex* live_raw = live.get();
     opts.health_source = [live_raw] { return live_raw->Health(); };
   }
-  // Live mode serves through the engine provider: each batch pins the
-  // current epoch, so INSERT/DELETE/CHECKPOINT swap engines under a
-  // running service without a restart.
-  std::unique_ptr<serve::EsdQueryService> service_ptr =
-      live != nullptr
-          ? std::make_unique<serve::EsdQueryService>(live->EngineProvider(),
-                                                     opts)
-          : std::make_unique<serve::EsdQueryService>(*engine, opts);
+  // Live mode serves through the epoch-aware engine provider: each batch
+  // pins the current epoch (engine + epoch id), so INSERT/DELETE/CHECKPOINT
+  // swap engines under a running service without a restart, and the result
+  // cache keys its generations on the pinned epoch.
+  std::unique_ptr<serve::EsdQueryService> service_ptr;
+  if (live != nullptr) {
+    live::LiveEsdIndex* live_raw = live.get();
+    serve::EsdQueryService::EpochEngineProvider provider =
+        [live_raw]() -> serve::EsdQueryService::PinnedEngine {
+      std::shared_ptr<const live::EpochSnapshot> snap =
+          live_raw->CurrentSnapshot();
+      return {std::shared_ptr<const core::EsdQueryEngine>(snap, &snap->index),
+              snap->epoch};
+    };
+    service_ptr =
+        std::make_unique<serve::EsdQueryService>(std::move(provider), opts);
+    // Rotate the cache generation the moment an epoch publishes rather
+    // than lazily on the first post-swap lookup (cleared again before the
+    // service dies — the refreeze pool outlives it).
+    service_ptr->NotifyEpoch(live->CurrentSnapshot()->epoch);
+    serve::EsdQueryService* svc = service_ptr.get();
+    live->SetEpochListener(
+        [svc](uint64_t epoch, uint64_t /*seq*/) { svc->NotifyEpoch(epoch); });
+  } else {
+    service_ptr = std::make_unique<serve::EsdQueryService>(*engine, opts);
+  }
   serve::EsdQueryService& service = *service_ptr;
-  std::printf("service up: %u worker threads, queue bound %zu\n\n",
-              service.num_threads(), max_queue);
+  std::printf("service up: %u worker threads, queue bound %zu%s\n\n",
+              service.num_threads(), max_queue,
+              service.cache() != nullptr ? ", result cache on" : "");
 
   // Burst: `clients` threads each fire their share of the requests, mixing
   // taus and ks, then report one sample response apiece.
@@ -432,6 +455,17 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(ls.heals),
                     ls.breaker_open ? 1 : 0);
       }
+      if (service.cache() != nullptr) {
+        const serve::ResultCache::Stats cs = service.cache()->Snap();
+        std::printf(" cache_hits=%llu cache_misses=%llu cache_hit_rate=%.3f "
+                    "cache_entries=%zu cache_bytes=%llu cache_epoch=%llu "
+                    "cache_evictions=%llu",
+                    static_cast<unsigned long long>(cs.hits),
+                    static_cast<unsigned long long>(cs.misses), cs.hit_rate,
+                    cs.entries, static_cast<unsigned long long>(cs.bytes),
+                    static_cast<unsigned long long>(cs.epoch),
+                    static_cast<unsigned long long>(cs.evictions));
+      }
       std::printf(" scorer=%s", std::string(scorer->Name()).c_str());
       std::printf(" health=%s", obs::HealthStateName(service.Health()));
       std::printf("\n");
@@ -493,6 +527,9 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
 
+  // The background refreeze pool outlives the service object below: drop
+  // the epoch listener first so no publish fires into a dead service.
+  if (live != nullptr) live->SetEpochListener({});
   service.Stop();
   return 0;
 }

@@ -245,7 +245,10 @@ TopKResult FrozenEsdIndex::QueryAtSlab(size_t slab_index, uint32_t k,
       }
     }
   }
-  counters_.AddEntriesScanned(out.size());
+  // Only the real slab prefix counts as entries scanned: zero-padded filler
+  // edges never touch a slab, and counting them would inflate the engine
+  // work counters cache-benefit analysis compares against.
+  counters_.AddEntriesScanned(take);
   return out;
 }
 

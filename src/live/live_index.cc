@@ -313,6 +313,7 @@ LiveStats LiveEsdIndex::Stats() const {
   s.breaker_open = manager_->breaker_open();
   s.refreeze_failures = manager_->refreeze_failures();
   s.refreezes_skipped = manager_->refreezes_skipped();
+  s.publish_races = manager_->publish_races();
   s.refreezes = manager_->epochs_published();
   const auto snap = manager_->Current();
   s.snapshot_epoch = snap->epoch;
@@ -354,6 +355,9 @@ void LiveEsdIndex::ExportMetrics() const {
   reg.GetGauge("esd_live_wal_eintr_retries",
                "EINTR retries absorbed by WAL writes")
       .Set(static_cast<double>(s.wal_eintr_retries));
+  reg.GetGauge("esd_live_publish_races",
+               "stale epoch publishes discarded by the seq guard")
+      .Set(static_cast<double>(s.publish_races));
   obs::ExportHealth(reg, Health());
 }
 

@@ -111,6 +111,7 @@ struct LiveStats {
   uint64_t refreeze_failures = 0;    ///< failed epoch rebuilds
   uint64_t refreezes_skipped = 0;    ///< rebuilds skipped by the open breaker
   uint64_t wal_eintr_retries = 0;    ///< EINTR retries absorbed by appends
+  uint64_t publish_races = 0;        ///< stale publishes discarded by seq guard
 };
 
 /// The live serving index: WAL-backed ingestion in front of an
@@ -202,6 +203,16 @@ class LiveEsdIndex {
   std::function<std::shared_ptr<const core::EsdQueryEngine>()>
   EngineProvider() const {
     return [this] { return CurrentEngine(); };
+  }
+
+  /// Installs a callback fired after every successful epoch publish (new
+  /// epoch id + applied_seq watermark) — what a serving-layer result cache
+  /// hooks to rotate generations as soon as an epoch swaps, instead of on
+  /// the first post-swap lookup. Runs on the background refreeze pool;
+  /// keep it cheap, and clear it (empty listener) before destroying
+  /// anything it captures.
+  void SetEpochListener(EpochSnapshotManager::EpochListener listener) {
+    manager_->SetEpochListener(std::move(listener));
   }
 
   LiveStats Stats() const;

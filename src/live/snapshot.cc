@@ -98,8 +98,10 @@ bool WriteFileAtomically(const std::string& path, const std::string& bytes,
                                std::strerror(hit.error_code) + " [injected]");
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int rename_errno = errno;  // before unlink can clobber it
     ::unlink(tmp.c_str());
-    return SetError(error, "cannot rename " + tmp + " over " + path);
+    return SetError(error, "cannot rename " + tmp + " over " + path + ": " +
+                               std::strerror(rename_errno));
   }
   const size_t slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos
@@ -245,19 +247,27 @@ bool EpochSnapshotManager::RefreezeNow() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     refreeze_queued_ = false;
-    if (ESD_FAILPOINT("live.refreeze")) {
-      // Rebuild failed: the previous epoch stays published (readers keep
-      // a consistent, merely stale, image) and the breaker counts it.
-      refreeze_failures_.fetch_add(1, std::memory_order_relaxed);
-      if (++consecutive_failures_ >= breaker_threshold_ &&
-          !breaker_open_.load(std::memory_order_relaxed)) {
-        breaker_open_.store(true, std::memory_order_relaxed);
-        breaker_opened_at_ = std::chrono::steady_clock::now();
-      }
-      return false;
-    }
     frozen = core::Freeze(writer_.Index());
     seq = applied_seq_.load(std::memory_order_relaxed);
+  }
+  // The freeze-to-publish window: mu_ is released, so newer updates can be
+  // applied — and refrozen by another thread — before this image reaches
+  // Publish. The fail point sits here on purpose: an error action models a
+  // failed rebuild (previous epoch stays published, breaker counts it),
+  // while a delay action parks this thread in exactly the window whose
+  // interleaving Publish's seq guard must survive.
+  if (ESD_FAILPOINT("live.refreeze")) {
+    std::lock_guard<std::mutex> lock(mu_);
+    refreeze_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (++consecutive_failures_ >= breaker_threshold_ &&
+        !breaker_open_.load(std::memory_order_relaxed)) {
+      breaker_open_.store(true, std::memory_order_relaxed);
+      breaker_opened_at_ = std::chrono::steady_clock::now();
+    }
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
     consecutive_failures_ = 0;
     breaker_open_.store(false, std::memory_order_relaxed);
   }
@@ -301,15 +311,38 @@ void EpochSnapshotManager::GraphCopy(graph::DynamicGraph* out,
   *applied_seq = applied_seq_.load(std::memory_order_relaxed);
 }
 
+void EpochSnapshotManager::SetEpochListener(EpochListener listener) {
+  std::lock_guard<std::mutex> lock(listener_mu_);
+  listener_ = std::move(listener);
+}
+
 void EpochSnapshotManager::Publish(core::FrozenEsdIndex frozen,
                                    uint64_t seq) {
   auto snap = std::make_shared<EpochSnapshot>();
   snap->index = std::move(frozen);
   snap->applied_seq = seq;
-  snap->epoch = epochs_published_.fetch_add(1, std::memory_order_relaxed);
   snap->published_at = std::chrono::steady_clock::now();
-  std::lock_guard<std::mutex> lock(published_mu_);
-  published_ = std::move(snap);
+  {
+    std::lock_guard<std::mutex> lock(published_mu_);
+    // Seq guard: freezes are built under mu_ but published after releasing
+    // it, so a slow freeze can arrive here after a faster one that folded
+    // in more updates. Publishing it would roll readers — and every
+    // epoch-keyed result-cache generation — back to a stale image; discard
+    // it instead. Epoch ids are assigned under this lock so (epoch,
+    // applied_seq) stay jointly monotone.
+    if (published_ != nullptr && seq < published_->applied_seq) {
+      publish_races_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    snap->epoch = epochs_published_.fetch_add(1, std::memory_order_relaxed);
+    published_ = snap;
+  }
+  EpochListener listener;
+  {
+    std::lock_guard<std::mutex> lock(listener_mu_);
+    listener = listener_;
+  }
+  if (listener) listener(snap->epoch, snap->applied_seq);
 }
 
 }  // namespace esd::live

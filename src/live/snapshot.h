@@ -123,6 +123,16 @@ class EpochSnapshotManager {
   /// breaker is open and still cooling down.
   void ScheduleRefreeze();
 
+  /// Called after every successful publish (outside the publication lock)
+  /// with the new epoch id and its applied_seq watermark — the hook the
+  /// serving layer's epoch-keyed result cache uses to rotate generations
+  /// proactively instead of waiting for the first post-swap lookup.
+  /// Discarded stale publishes (see publish_races) never fire it. May be
+  /// invoked from the background refreeze pool; keep it cheap. Replaces
+  /// any previous listener; empty clears.
+  using EpochListener = std::function<void(uint64_t epoch, uint64_t seq)>;
+  void SetEpochListener(EpochListener listener);
+
   /// Reconfigures the refreeze circuit breaker (threshold in consecutive
   /// failures; cooldown before a retry is allowed through).
   void ConfigureBreaker(int threshold, std::chrono::milliseconds cooldown);
@@ -136,6 +146,13 @@ class EpochSnapshotManager {
   /// Refreezes skipped because the breaker was open.
   uint64_t refreezes_skipped() const {
     return refreezes_skipped_.load(std::memory_order_relaxed);
+  }
+  /// Stale publishes discarded by the seq guard: a refreeze that froze at
+  /// an older applied_seq but reached Publish after a newer one. Without
+  /// the guard these would roll readers (and every epoch-keyed cache
+  /// generation) back to a stale image.
+  uint64_t publish_races() const {
+    return publish_races_.load(std::memory_order_relaxed);
   }
 
   /// The current epoch (pin by keeping the shared_ptr). Never null.
@@ -179,12 +196,23 @@ class EpochSnapshotManager {
 
   std::atomic<uint64_t> applied_seq_;
   std::atomic<uint64_t> epochs_published_{0};
+  std::atomic<uint64_t> publish_races_{0};
 
   /// Publication lock: both sides hold it only for one shared_ptr copy or
   /// swap, so readers never wait on an index build. (std::atomic<shared_ptr>
   /// would do, but libstdc++'s lock-bit implementation is opaque to TSan.)
+  /// Publish's staleness guard lives under this lock too: an incoming
+  /// epoch whose applied_seq is older than the published one is discarded,
+  /// which makes (epoch id, applied_seq) jointly monotone — the invariant
+  /// the serving layer's result cache keys on.
   mutable std::mutex published_mu_;
   std::shared_ptr<const EpochSnapshot> published_;
+
+  /// Epoch-change notification (guarded separately: the listener can be
+  /// installed while refreezes are in flight, and firing it must not hold
+  /// published_mu_).
+  mutable std::mutex listener_mu_;
+  EpochListener listener_;
 
   /// Declared last: destroyed first, which drains any queued refreeze
   /// while the members it touches are still alive.

@@ -15,6 +15,16 @@ double Micros(std::chrono::steady_clock::duration d) {
   return std::chrono::duration<double, std::micro>(d).count();
 }
 
+std::unique_ptr<ResultCache> MakeCache(const EsdQueryService::Options& options,
+                                       ServiceMetrics& metrics) {
+  if (options.cache_bytes == 0) return nullptr;
+  ResultCache::Options copts;
+  copts.max_bytes = options.cache_bytes;
+  copts.max_entries = options.cache_entries;
+  copts.shards = options.cache_shards;
+  return std::make_unique<ResultCache>(copts, metrics.registry());
+}
+
 }  // namespace
 
 EsdQueryService::EsdQueryService(const core::EsdQueryEngine& engine)
@@ -31,6 +41,7 @@ EsdQueryService::EsdQueryService(const core::EsdQueryEngine& engine,
       max_batch_(std::max<size_t>(1, options.max_batch)),
       health_source_(options.health_source),
       metrics_(options.registry),
+      cache_(MakeCache(options, metrics_)),  // static engine: epoch 0 forever
       pool_(num_threads_) {
   if (!options.start_paused) Start();
 }
@@ -47,6 +58,26 @@ EsdQueryService::EsdQueryService(EngineProvider provider,
       max_batch_(std::max<size_t>(1, options.max_batch)),
       health_source_(options.health_source),
       metrics_(options.registry),
+      // No epoch signal in this mode: the provider may swap engines under a
+      // constant key, so caching would serve stale answers. Disabled.
+      cache_(nullptr),
+      pool_(num_threads_) {
+  if (!options.start_paused) Start();
+}
+
+EsdQueryService::EsdQueryService(EpochEngineProvider provider,
+                                 const Options& options)
+    : engine_(nullptr),
+      epoch_provider_(std::move(provider)),
+      frozen_(nullptr),
+      num_threads_(options.num_threads == 0
+                       ? util::ThreadPool::DefaultThreadCount()
+                       : options.num_threads),
+      max_queue_(std::max<size_t>(1, options.max_queue)),
+      max_batch_(std::max<size_t>(1, options.max_batch)),
+      health_source_(options.health_source),
+      metrics_(options.registry),
+      cache_(MakeCache(options, metrics_)),
       pool_(num_threads_) {
   if (!options.start_paused) Start();
 }
@@ -176,16 +207,30 @@ void EsdQueryService::ServeBatch(std::vector<Pending> batch) {
   std::shared_ptr<const core::EsdQueryEngine> pinned;
   const core::EsdQueryEngine* engine = engine_;
   const core::FrozenEsdIndex* frozen = frozen_;
-  if (provider_) {
+  uint64_t epoch = 0;  // static engines never change: epoch 0 forever
+  if (epoch_provider_) {
+    PinnedEngine pe = epoch_provider_();
+    pinned = std::move(pe.engine);
+    epoch = pe.epoch;
+    engine = pinned.get();
+    frozen = dynamic_cast<const core::FrozenEsdIndex*>(engine);
+  } else if (provider_) {
     pinned = provider_();
     engine = pinned.get();
     frozen = dynamic_cast<const core::FrozenEsdIndex*>(engine);
   }
-  // Group by tau (stable: FIFO preserved within a tau) so the frozen
-  // engine's sizes_ binary search runs once per distinct tau in the batch.
+  // Group by (tau, k, pad) (stable: FIFO preserved among identical
+  // requests) so the frozen engine's sizes_ binary search runs once per
+  // distinct tau in the batch — one ascending-tau sweep — and identical
+  // requests land adjacent, where the dedup below answers them once.
   std::stable_sort(batch.begin(), batch.end(),
                    [](const Pending& a, const Pending& b) {
-                     return a.request.tau < b.request.tau;
+                     if (a.request.tau != b.request.tau)
+                       return a.request.tau < b.request.tau;
+                     if (a.request.k != b.request.k)
+                       return a.request.k < b.request.k;
+                     return a.request.pad_with_zero_edges <
+                            b.request.pad_with_zero_edges;
                    });
   // Two passes — serve everything (recording per-request and per-batch
   // metrics), then resolve the promises — so by the time any client
@@ -196,6 +241,16 @@ void EsdQueryService::ServeBatch(std::vector<Pending> batch) {
   size_t slab = core::FrozenEsdIndex::kNoSlab;
   uint32_t slab_tau = 0;
   bool have_slab = false;
+  // Distinct-tau accounting is shared by the frozen and degenerate paths:
+  // a tau counts once per batch no matter how many requests carry it or
+  // which path serves them (the degenerate path used to count every
+  // request, overstating slab_searches_saved's baseline).
+  uint32_t last_tau = 0;
+  bool have_tau = false;
+  // Intra-batch dedup: the previous executed request's (tau, k, pad) and
+  // its answer (stable pointer into `responses`).
+  const QueryRequest* prev_rq = nullptr;
+  const core::TopKResult* prev_result = nullptr;
   for (size_t i = 0; i < batch.size(); ++i) {
     const Pending& p = batch[i];
     const Clock::time_point picked_up = Clock::now();
@@ -207,20 +262,42 @@ void EsdQueryService::ServeBatch(std::vector<Pending> batch) {
     } else {
       const QueryRequest& rq = p.request;
       util::Timer timer;
-      if (frozen != nullptr && rq.k > 0 && rq.tau > 0) {
-        if (!have_slab || slab_tau != rq.tau) {
-          slab = frozen->FindSlab(rq.tau);
-          slab_tau = rq.tau;
-          have_slab = true;
-          ++distinct_taus;
-        }
-        response.result =
-            frozen->QueryAtSlab(slab, rq.k, rq.pad_with_zero_edges);
-      } else {
-        // Degenerate (k or tau 0) or non-frozen engine: per-request path.
-        response.result = engine->Query(rq.k, rq.tau, rq.pad_with_zero_edges);
+      if (!have_tau || last_tau != rq.tau) {
         ++distinct_taus;
+        last_tau = rq.tau;
+        have_tau = true;
       }
+      if (prev_rq != nullptr && prev_rq->tau == rq.tau &&
+          prev_rq->k == rq.k &&
+          prev_rq->pad_with_zero_edges == rq.pad_with_zero_edges) {
+        // Identical to the previous request of this batch (same pinned
+        // engine): copy its answer.
+        response.result = *prev_result;
+      } else if (cache_ != nullptr &&
+                 cache_->Lookup(epoch, rq.tau, rq.k, rq.pad_with_zero_edges,
+                                &response.result)) {
+        // Cache hit: answered without touching the engine.
+      } else {
+        if (frozen != nullptr && rq.k > 0 && rq.tau > 0) {
+          if (!have_slab || slab_tau != rq.tau) {
+            slab = frozen->FindSlab(rq.tau);
+            slab_tau = rq.tau;
+            have_slab = true;
+          }
+          response.result =
+              frozen->QueryAtSlab(slab, rq.k, rq.pad_with_zero_edges);
+        } else {
+          // Degenerate (k or tau 0) or non-frozen engine: per-request path.
+          response.result =
+              engine->Query(rq.k, rq.tau, rq.pad_with_zero_edges);
+        }
+        if (cache_ != nullptr) {
+          cache_->Insert(epoch, rq.tau, rq.k, rq.pad_with_zero_edges,
+                         response.result);
+        }
+      }
+      prev_rq = &rq;
+      prev_result = &response.result;
       response.exec_us = timer.ElapsedMicros();
       response.status = ResponseStatus::kOk;
       metrics_.RecordCompleted(response.queue_us, response.exec_us);

@@ -17,6 +17,7 @@
 #include "core/query_engine.h"
 #include "obs/health.h"
 #include "serve/metrics.h"
+#include "serve/result_cache.h"
 #include "util/thread_pool.h"
 
 namespace esd::serve {
@@ -61,6 +62,13 @@ struct QueryResponse {
 /// load batches degenerate to size 1 and the service behaves like a plain
 /// thread-per-request executor; under load batching kicks in naturally.
 ///
+/// Ahead of the slab path sits an optional epoch-keyed ResultCache
+/// (Options::cache_bytes): repeated (tau, k, pad) traffic within one
+/// engine epoch is answered from the cache without touching the engine,
+/// and an epoch swap invalidates the whole generation in O(1). Batches are
+/// additionally sorted by (tau, k, pad) so identical requests inside one
+/// batch are answered once and copied.
+///
 /// The engine is shared by const reference across all workers, relying on
 /// the EsdQueryEngine thread-safety contract: the caller must not mutate
 /// the engine (or an online adapter's borrowed graph) while the service is
@@ -93,6 +101,16 @@ class EsdQueryService {
     /// degraded/read-only state). Called from any thread; empty = the
     /// service reports only its own state.
     std::function<obs::HealthState()> health_source;
+    /// Byte budget of the epoch-keyed result cache; 0 (default) disables
+    /// caching entirely. Only honored in static-engine mode (the engine is
+    /// immutable, epoch 0 forever) and epoch-provider mode (epoch swaps
+    /// rotate the cache generation); the legacy EngineProvider mode has no
+    /// epoch signal and never caches.
+    size_t cache_bytes = 0;
+    /// Entry budget of the result cache (split across its shards).
+    size_t cache_entries = 1 << 16;
+    /// Lock stripes of the result cache.
+    size_t cache_shards = 16;
   };
 
   /// Returns the engine a batch should serve from. Called once per batch
@@ -103,11 +121,29 @@ class EsdQueryService {
   using EngineProvider =
       std::function<std::shared_ptr<const core::EsdQueryEngine>()>;
 
+  /// An engine pinned together with the epoch id it serves — what the
+  /// epoch-aware provider returns. The epoch keys the result cache: two
+  /// calls returning the same epoch MUST return the same (immutable)
+  /// engine image. LiveEsdIndex's seq-guarded publish provides exactly
+  /// this (epoch ids are monotone in applied_seq).
+  struct PinnedEngine {
+    std::shared_ptr<const core::EsdQueryEngine> engine;
+    uint64_t epoch = 0;
+  };
+  /// Epoch-aware engine provider; must never return a null engine.
+  using EpochEngineProvider = std::function<PinnedEngine()>;
+
   explicit EsdQueryService(const core::EsdQueryEngine& engine);
   EsdQueryService(const core::EsdQueryEngine& engine, const Options& options);
   /// Engine-swap serving mode: each batch pins the provider's current
   /// engine (e.g. a LiveEsdIndex epoch) instead of one fixed engine.
+  /// No epoch signal, so Options::cache_bytes is ignored (never caches).
   EsdQueryService(EngineProvider provider, const Options& options);
+  /// Epoch-aware engine-swap mode: like EngineProvider, but each batch also
+  /// learns which epoch it pinned, enabling the result cache (hits answer
+  /// without touching the engine; an epoch swap invalidates the whole
+  /// cache generation in O(1)).
+  EsdQueryService(EpochEngineProvider provider, const Options& options);
   ~EsdQueryService();
 
   EsdQueryService(const EsdQueryService&) = delete;
@@ -132,6 +168,18 @@ class EsdQueryService {
   const ServiceMetrics& metrics() const { return metrics_; }
   unsigned num_threads() const { return num_threads_; }
 
+  /// Epoch-change notification, wired to LiveEsdIndex::SetEpochListener so
+  /// the cache generation rotates at publish time instead of lazily on the
+  /// first post-swap lookup. Safe from any thread; no-op when caching is
+  /// off.
+  void NotifyEpoch(uint64_t epoch) {
+    if (cache_) cache_->OnEpochChange(epoch);
+  }
+
+  /// The result cache, or null when disabled (cache_bytes == 0 or legacy
+  /// provider mode). Exposed for stats surfaces (esd_server STATS, tests).
+  const ResultCache* cache() const { return cache_.get(); }
+
   /// Combined serving health: the worse of this service's own state (a
   /// stopped service is read-only — admitted work still drains but nothing
   /// new is accepted) and the Options::health_source feed.
@@ -150,11 +198,12 @@ class EsdQueryService {
   void WorkerLoop();
   void ServeBatch(std::vector<Pending> batch);
 
-  /// Exactly one of engine_/provider_ is set. In provider mode ServeBatch
-  /// re-pins per batch; in static mode engine_ (and the frozen_ downcast)
-  /// are fixed for the service's lifetime.
+  /// Exactly one of engine_/provider_/epoch_provider_ is set. In provider
+  /// modes ServeBatch re-pins per batch; in static mode engine_ (and the
+  /// frozen_ downcast) are fixed for the service's lifetime.
   const core::EsdQueryEngine* engine_;
   EngineProvider provider_;
+  EpochEngineProvider epoch_provider_;
   /// Non-null when engine_ is a FrozenEsdIndex: enables the batched
   /// slab-reuse fast path.
   const core::FrozenEsdIndex* frozen_;
@@ -164,6 +213,9 @@ class EsdQueryService {
   const std::function<obs::HealthState()> health_source_;
 
   ServiceMetrics metrics_;
+  /// Declared after metrics_: the cache registers its esd_cache_* metrics
+  /// on metrics_.registry(). Null when caching is disabled.
+  std::unique_ptr<ResultCache> cache_;
   util::ThreadPool pool_;
 
   mutable std::mutex mu_;

@@ -1,0 +1,169 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace esd::serve {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(const Options& options, obs::MetricRegistry& registry)
+    : num_shards_(RoundUpPow2(std::max<size_t>(options.shards, 1))),
+      shard_entry_budget_(
+          std::max<size_t>(options.max_entries / num_shards_, 1)),
+      shard_byte_budget_(options.max_bytes == 0
+                             ? std::numeric_limits<size_t>::max()
+                             : std::max<size_t>(
+                                   options.max_bytes / num_shards_, 1)),
+      hits_(registry.GetCounter("esd_cache_hits",
+                                "result cache lookups answered without "
+                                "touching the slab")),
+      misses_(registry.GetCounter("esd_cache_misses",
+                                  "result cache lookups that fell through "
+                                  "to query execution")),
+      evictions_(registry.GetCounter("esd_cache_evictions",
+                                     "cache entries dropped by LRU budget "
+                                     "enforcement")),
+      bytes_gauge_(registry.GetGauge("esd_cache_bytes",
+                                     "bytes resident in the current cache "
+                                     "generation")),
+      hit_rate_(registry.GetGauge("esd_cache_hit_rate",
+                                  "lifetime cache hits / lookups")),
+      gen_(std::make_shared<Generation>(0, num_shards_)) {}
+
+bool ResultCache::Lookup(uint64_t epoch, uint32_t tau, uint32_t k, bool pad,
+                         core::TopKResult* out) {
+  std::shared_ptr<Generation> gen = Pin();
+  if (epoch > gen->epoch) gen = Rotate(epoch);
+  if (epoch < gen->epoch) {
+    // The caller pinned its engine just before an epoch swap; its answers
+    // belong to a retired generation. Count as a miss so the hit rate
+    // reflects real serving behavior.
+    bypasses_.fetch_add(1, std::memory_order_relaxed);
+    RecordLookup(false);
+    return false;
+  }
+
+  const CacheKey key{tau, k, static_cast<uint8_t>(pad ? 1 : 0)};
+  Shard& shard = ShardFor(*gen, key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      *out = it->second->result;
+      RecordLookup(true);
+      return true;
+    }
+  }
+  RecordLookup(false);
+  return false;
+}
+
+void ResultCache::Insert(uint64_t epoch, uint32_t tau, uint32_t k, bool pad,
+                         const core::TopKResult& result) {
+  std::shared_ptr<Generation> gen = Pin();
+  if (epoch > gen->epoch) gen = Rotate(epoch);
+  // A stale answer must never land in a newer generation; a retired
+  // generation refuses late arrivals so the byte gauge tracks only the
+  // live one.
+  if (epoch < gen->epoch || gen->retired.load(std::memory_order_acquire)) {
+    return;
+  }
+
+  const size_t entry_bytes = EntryBytes(result);
+  if (entry_bytes > shard_byte_budget_) return;  // would evict everything
+
+  const CacheKey key{tau, k, static_cast<uint8_t>(pad ? 1 : 0)};
+  Shard& shard = ShardFor(*gen, key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      // Same (epoch, tau, k, pad) => same answer; just refresh recency.
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.push_front(Entry{key, result, entry_bytes});
+      shard.map.emplace(key, shard.lru.begin());
+      shard.bytes += entry_bytes;
+      gen->total_bytes.fetch_add(entry_bytes, std::memory_order_relaxed);
+      EnforceBudgets(*gen, shard);
+    }
+  }
+  if (!gen->retired.load(std::memory_order_acquire)) {
+    bytes_gauge_.Set(static_cast<double>(
+        gen->total_bytes.load(std::memory_order_relaxed)));
+  }
+}
+
+void ResultCache::OnEpochChange(uint64_t epoch) { Rotate(epoch); }
+
+std::shared_ptr<ResultCache::Generation> ResultCache::Rotate(uint64_t epoch) {
+  auto fresh = std::make_shared<Generation>(epoch, num_shards_);
+  std::shared_ptr<Generation> retired;
+  {
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    if (epoch <= gen_->epoch) return gen_;  // racing rotation already won
+    retired = gen_;
+    gen_ = fresh;
+  }
+  // Whole-generation invalidation is the swap above; everything below is
+  // bookkeeping outside the pointer lock.
+  retired->retired.store(true, std::memory_order_release);
+  generations_.fetch_add(1, std::memory_order_relaxed);
+  bytes_gauge_.Set(0);
+  return fresh;
+}
+
+void ResultCache::EnforceBudgets(Generation& gen, Shard& shard) {
+  while (!shard.lru.empty() && (shard.lru.size() > shard_entry_budget_ ||
+                                shard.bytes > shard_byte_budget_)) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    gen.total_bytes.fetch_sub(victim.bytes, std::memory_order_relaxed);
+    shard.map.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.Inc();
+  }
+}
+
+void ResultCache::RecordLookup(bool hit) {
+  if (hit) {
+    hits_.Inc();
+  } else {
+    misses_.Inc();
+  }
+  const double h = static_cast<double>(hits_.Value());
+  const double m = static_cast<double>(misses_.Value());
+  hit_rate_.Set(h + m > 0 ? h / (h + m) : 0.0);
+}
+
+ResultCache::Stats ResultCache::Snap() const {
+  Stats s;
+  s.hits = hits_.Value();
+  s.misses = misses_.Value();
+  s.bypasses = bypasses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.Value();
+  s.generations = generations_.load(std::memory_order_relaxed);
+  std::shared_ptr<Generation> gen = Pin();
+  s.epoch = gen->epoch;
+  for (Shard& shard : gen->shards) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    s.entries += shard.lru.size();
+    s.bytes += shard.bytes;
+  }
+  const double total = static_cast<double>(s.hits + s.misses);
+  s.hit_rate = total > 0 ? static_cast<double>(s.hits) / total : 0.0;
+  return s;
+}
+
+}  // namespace esd::serve

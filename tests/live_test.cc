@@ -23,6 +23,7 @@
 #include "core/frozen_index.h"
 #include "core/index_builder.h"
 #include "core/query_engine.h"
+#include "fault/failpoint.h"
 #include "gen/barabasi_albert.h"
 #include "graph/dynamic_graph.h"
 #include "live/live_index.h"
@@ -603,6 +604,137 @@ TEST(LiveIndexTest, RefreezePublishesFreshEpochs) {
   EXPECT_EQ(fresh->epoch, boot->epoch + 1);
   EXPECT_EQ(fresh->applied_seq, 1u);
   EXPECT_EQ(boot->applied_seq, 0u);  // the pinned epoch is immutable
+}
+
+// Regression for the stale-epoch publish race. A refreeze builds its frozen
+// image under the writer mutex but publishes after releasing it, so a slow
+// refreeze can reach Publish AFTER a faster one that folded in more
+// updates. The unguarded Publish used to install it anyway, rolling readers
+// back to a stale image (and, with the result cache, re-keying a fresh
+// generation to stale answers). The seq guard must discard it instead.
+//
+// The live.refreeze fail point sits exactly in that freeze-to-publish
+// window; nth(1)*delay(...) parks only the FIRST refreeze there (FireCount
+// bumps before the sleep, giving the test a sync point), letting a second,
+// newer refreeze overtake it deterministically.
+TEST(LiveIndexTest, StalePublishDiscardedBySeqGuard) {
+  ScratchDir dir("live_pubrace");
+  LiveOptions options;
+  options.wal_path = dir.Path("wal.bin");
+  options.refreeze_every = 0;  // every refreeze in this test is explicit
+  std::string error;
+  auto live =
+      LiveEsdIndex::Open(gen::BarabasiAlbert(40, 2, 9), options, &error);
+  ASSERT_NE(live, nullptr) << error;
+
+  LiveUpdate first;
+  first.u = 0;
+  first.v = 39;
+  ASSERT_TRUE(live->Apply(first, &error)) << error;  // seq 1
+
+  fault::FailPointRegistry& fp = fault::FailPointRegistry::Global();
+  ASSERT_TRUE(fp.Set("live.refreeze", "nth(1)*delay(300)", &error)) << error;
+
+  // Thread A freezes at seq 1, then parks in the window.
+  std::thread slow([&] { EXPECT_TRUE(live->RefreezeNow()); });
+  while (fp.FireCount("live.refreeze") < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Meanwhile a newer update lands and refreezes straight through (hit 2 of
+  // the fail point: nth(1) no longer fires).
+  LiveUpdate second;
+  second.u = 1;
+  second.v = 38;
+  ASSERT_TRUE(live->Apply(second, &error)) << error;  // seq 2
+  ASSERT_TRUE(live->RefreezeNow());
+  auto fresh = live->CurrentSnapshot();
+  EXPECT_EQ(fresh->epoch, 1u);
+  EXPECT_EQ(fresh->applied_seq, 2u);
+
+  slow.join();
+  fp.Clear("live.refreeze");
+
+  // The slow refreeze's stale image (seq 1) must have been discarded: the
+  // published epoch still reflects seq 2 and the race was counted.
+  auto current = live->CurrentSnapshot();
+  EXPECT_EQ(current->epoch, 1u);
+  EXPECT_EQ(current->applied_seq, 2u);
+  const live::LiveStats stats = live->Stats();
+  EXPECT_EQ(stats.publish_races, 1u);
+  EXPECT_EQ(stats.refreezes, 2u);  // boot + the fast refreeze; no third epoch
+}
+
+// Epoch-aware serving with the result cache in front of a churning live
+// index: every answer — first ask (miss) and repeat (hit) — must match the
+// current epoch's engine exactly, across epoch swaps driven through the
+// SetEpochListener -> NotifyEpoch wiring (the esd_server arrangement).
+TEST(LiveIndexTest, CachedAnswersMatchPinnedEpochUnderChurn) {
+  ScratchDir dir("live_cache");
+  graph::Graph bootstrap = gen::BarabasiAlbert(80, 3, 7);
+  LiveOptions options;
+  options.wal_path = dir.Path("wal.bin");
+  options.refreeze_every = 0;  // deterministic: the test drives every epoch
+  options.max_vertex_id = 99;
+  std::string error;
+  auto live = LiveEsdIndex::Open(bootstrap, options, &error);
+  ASSERT_NE(live, nullptr) << error;
+
+  serve::EsdQueryService::Options serve_options;
+  serve_options.num_threads = 2;
+  serve_options.cache_bytes = 1 << 20;
+  LiveEsdIndex* live_raw = live.get();
+  serve::EsdQueryService service(
+      [live_raw]() -> serve::EsdQueryService::PinnedEngine {
+        std::shared_ptr<const live::EpochSnapshot> snap =
+            live_raw->CurrentSnapshot();
+        return {std::shared_ptr<const core::EsdQueryEngine>(snap,
+                                                            &snap->index),
+                snap->epoch};
+      },
+      serve_options);
+  ASSERT_NE(service.cache(), nullptr);
+  service.NotifyEpoch(live->CurrentSnapshot()->epoch);
+  live->SetEpochListener(
+      [&service](uint64_t epoch, uint64_t) { service.NotifyEpoch(epoch); });
+
+  const std::vector<LiveUpdate> updates = RandomUpdates(200, 90, 0xCACE);
+  constexpr size_t kRounds = 5;
+  constexpr size_t kPerRound = 40;
+  for (size_t round = 0; round < kRounds; ++round) {
+    ASSERT_EQ(live->ApplyBatch({updates.data() + round * kPerRound,
+                                kPerRound},
+                               &error),
+              kPerRound)
+        << error;
+    ASSERT_TRUE(live->RefreezeNow());
+    auto engine = live->CurrentEngine();
+    for (uint32_t tau : {1u, 2u, 4u}) {
+      for (uint32_t k : {3u, 11u}) {
+        const TopKResult want = engine->Query(k, tau);
+        serve::QueryRequest rq;
+        rq.k = k;
+        rq.tau = tau;
+        // Ask twice: the repeat is served from the cache generation keyed
+        // to this epoch and must be byte-identical, never a stale round's.
+        for (int ask = 0; ask < 2; ++ask) {
+          serve::QueryResponse resp = service.Query(rq);
+          ASSERT_EQ(resp.status, serve::ResponseStatus::kOk);
+          EXPECT_EQ(resp.result, want)
+              << "round=" << round << " tau=" << tau << " k=" << k
+              << " ask=" << ask;
+        }
+      }
+    }
+  }
+  const serve::ResultCache::Stats cache_stats = service.cache()->Snap();
+  EXPECT_GT(cache_stats.hits, 0u);
+  EXPECT_EQ(cache_stats.epoch, live->CurrentSnapshot()->epoch);
+  EXPECT_EQ(cache_stats.epoch, kRounds);  // boot epoch 0 + one per round
+
+  // The listener captures the service; detach it before teardown order
+  // (service first) could leave it dangling.
+  live->SetEpochListener({});
 }
 
 // TSan-targeted stress: concurrent readers serve through the provider while

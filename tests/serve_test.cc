@@ -18,10 +18,14 @@
 #include "core/frozen_index.h"
 #include "core/index_builder.h"
 #include "core/query_engine.h"
+#include "core/topk_result.h"
 #include "gen/barabasi_albert.h"
 #include "gen/erdos_renyi.h"
+#include "graph/graph.h"
+#include "obs/metrics.h"
 #include "serve/metrics.h"
 #include "serve/query_service.h"
+#include "serve/result_cache.h"
 #include "util/thread_pool.h"
 
 namespace esd {
@@ -327,6 +331,250 @@ TEST(ServeTest, EngineProviderPinsEnginePerBatch) {
   EXPECT_EQ(service.Query(rq).result, want_b);
   engine_b.reset();  // `current` still pins it inside the provider
   EXPECT_EQ(service.Query(rq).result, want_b);
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache: the epoch-keyed answer cache in front of the slab path.
+// ---------------------------------------------------------------------------
+
+serve::ResultCache::Options SmallCacheOptions(size_t entries, size_t bytes) {
+  serve::ResultCache::Options copts;
+  copts.max_entries = entries;
+  copts.max_bytes = bytes;
+  copts.shards = 1;  // single shard: capacity semantics are exact
+  return copts;
+}
+
+TopKResult MakeResult(uint32_t score, size_t n = 1) {
+  TopKResult r;
+  for (size_t i = 0; i < n; ++i) {
+    r.push_back(core::ScoredEdge{
+        graph::Edge{static_cast<graph::VertexId>(i),
+                    static_cast<graph::VertexId>(i + 1)},
+        score});
+  }
+  return r;
+}
+
+TEST(ResultCacheTest, HitMissAndLruEviction) {
+  obs::MetricRegistry reg;
+  serve::ResultCache cache(SmallCacheOptions(4, 1 << 20), reg);
+
+  const TopKResult r1 = MakeResult(7);
+  TopKResult out;
+  EXPECT_FALSE(cache.Lookup(0, 2, 10, true, &out));
+  cache.Insert(0, 2, 10, true, r1);
+  ASSERT_TRUE(cache.Lookup(0, 2, 10, true, &out));
+  EXPECT_EQ(out, r1);
+  // Every key dimension participates: pad, k, and tau each miss alone.
+  EXPECT_FALSE(cache.Lookup(0, 2, 10, false, &out));
+  EXPECT_FALSE(cache.Lookup(0, 2, 11, true, &out));
+  EXPECT_FALSE(cache.Lookup(0, 3, 10, true, &out));
+
+  // Four newer keys push the original out of the 4-entry LRU.
+  for (uint32_t k = 20; k < 24; ++k) cache.Insert(0, 5, k, true, r1);
+  const serve::ResultCache::Stats s = cache.Snap();
+  EXPECT_EQ(s.entries, 4u);
+  EXPECT_GE(s.evictions, 1u);
+  EXPECT_FALSE(cache.Lookup(0, 2, 10, true, &out));
+  ASSERT_TRUE(cache.Lookup(0, 5, 23, true, &out));
+
+  // The registry carries the same counters under esd_cache_*.
+  EXPECT_EQ(reg.CounterValue("esd_cache_hits"), cache.Snap().hits);
+  EXPECT_EQ(reg.CounterValue("esd_cache_misses"), cache.Snap().misses);
+  EXPECT_GT(reg.GaugeValue("esd_cache_bytes"), 0.0);
+}
+
+TEST(ResultCacheTest, ByteBudgetBoundsResidencyAndRefusesOversized) {
+  obs::MetricRegistry reg;
+  // Tight byte budget, generous entry budget: bytes are the binding bound.
+  const size_t budget = 1024;
+  serve::ResultCache cache(SmallCacheOptions(1024, budget), reg);
+
+  for (uint32_t k = 1; k <= 64; ++k) {
+    cache.Insert(0, 1, k, true, MakeResult(k, 8));
+    EXPECT_LE(cache.Snap().bytes, budget) << "after insert k=" << k;
+  }
+  serve::ResultCache::Stats s = cache.Snap();
+  EXPECT_GE(s.evictions, 1u);
+  EXPECT_GT(s.entries, 0u);
+  EXPECT_LT(s.entries, 64u);
+
+  // A result bigger than the whole shard budget is refused outright
+  // (inserting it would evict everything for a one-shot answer).
+  TopKResult out;
+  cache.Insert(0, 9, 9, true, MakeResult(1, 4096));
+  EXPECT_FALSE(cache.Lookup(0, 9, 9, true, &out));
+}
+
+TEST(ResultCacheTest, EpochSwapInvalidatesWholeGeneration) {
+  obs::MetricRegistry reg;
+  serve::ResultCache cache(SmallCacheOptions(64, 1 << 20), reg);
+  const TopKResult r0 = MakeResult(3);
+  const TopKResult r1 = MakeResult(9);
+  TopKResult out;
+
+  for (uint32_t tau = 1; tau <= 8; ++tau) cache.Insert(0, tau, 5, true, r0);
+  ASSERT_TRUE(cache.Lookup(0, 4, 5, true, &out));
+
+  // One O(1) rotation drops all eight entries at once.
+  cache.OnEpochChange(1);
+  serve::ResultCache::Stats s = cache.Snap();
+  EXPECT_EQ(s.epoch, 1u);
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.generations, 2u);
+  EXPECT_FALSE(cache.Lookup(1, 4, 5, true, &out));
+  cache.Insert(1, 4, 5, true, r1);
+  ASSERT_TRUE(cache.Lookup(1, 4, 5, true, &out));
+  EXPECT_EQ(out, r1);
+
+  // A reader still pinned to the retired epoch bypasses: it must neither
+  // see the new generation's answers nor pollute it with stale ones.
+  EXPECT_FALSE(cache.Lookup(0, 4, 5, true, &out));
+  cache.Insert(0, 7, 7, true, r0);
+  EXPECT_FALSE(cache.Lookup(1, 7, 7, true, &out));
+  EXPECT_GE(cache.Snap().bypasses, 1u);
+
+  // Backward epoch notifications are no-ops; newer lookups rotate lazily
+  // even without a notification.
+  cache.OnEpochChange(0);
+  EXPECT_EQ(cache.Snap().epoch, 1u);
+  EXPECT_FALSE(cache.Lookup(5, 4, 5, true, &out));
+  EXPECT_EQ(cache.Snap().epoch, 5u);
+}
+
+// TSan-targeted: readers hammer Lookup/Insert while another thread bumps
+// the epoch. Payloads encode (epoch, tau, k), so any hit that crossed a
+// generation boundary or returned another key's answer is caught in the
+// assertion, not just by the sanitizer.
+TEST(ResultCacheTest, ConcurrentReadersSurviveEpochBumps) {
+  obs::MetricRegistry reg;
+  serve::ResultCache::Options copts;
+  copts.max_entries = 64;
+  copts.max_bytes = 1 << 20;
+  copts.shards = 4;
+  serve::ResultCache cache(copts, reg);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> epoch{0};
+  auto score_of = [](uint64_t e, uint32_t tau, uint32_t k) {
+    return static_cast<uint32_t>(e * 1000 + tau * 10 + k);
+  };
+
+  constexpr int kReaders = 4;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      uint64_t state = 0x9E3779B9u * (t + 1);
+      TopKResult out;
+      while (!stop.load(std::memory_order_relaxed)) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const uint32_t tau = 1 + static_cast<uint32_t>((state >> 33) % 8);
+        const uint32_t k = 1 + static_cast<uint32_t>((state >> 45) % 4);
+        const uint64_t e = epoch.load(std::memory_order_relaxed);
+        if (cache.Lookup(e, tau, k, true, &out)) {
+          if (out.size() != 1 || out[0].score != score_of(e, tau, k)) {
+            wrong.fetch_add(1);
+          }
+        } else {
+          cache.Insert(e, tau, k, true, MakeResult(score_of(e, tau, k)));
+        }
+      }
+    });
+  }
+  for (uint64_t b = 1; b <= 50; ++b) {
+    epoch.store(b, std::memory_order_relaxed);
+    cache.OnEpochChange(b);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(cache.Snap().epoch, 50u);
+  EXPECT_EQ(cache.Snap().generations, 51u);
+}
+
+TEST(ServeTest, ResultCacheServesRepeatsAndKeepsParity) {
+  graph::Graph g = gen::BarabasiAlbert(120, 3, 7);
+  FrozenEsdIndex frozen = core::BuildFrozenIndex(g);
+  EsdQueryService::Options opts;
+  opts.num_threads = 2;
+  opts.cache_bytes = 1 << 20;
+  EsdQueryService service(frozen, opts);
+  ASSERT_NE(service.cache(), nullptr);
+
+  for (int round = 0; round < 5; ++round) {
+    for (uint32_t tau : {1u, 2u, 3u}) {
+      for (uint32_t k : {5u, 17u}) {
+        QueryRequest rq;
+        rq.k = k;
+        rq.tau = tau;
+        QueryResponse resp = service.Query(rq);
+        ASSERT_EQ(resp.status, ResponseStatus::kOk);
+        EXPECT_EQ(resp.result, frozen.Query(k, tau))
+            << "round=" << round << " tau=" << tau << " k=" << k;
+      }
+    }
+  }
+  const serve::ResultCache::Stats s = service.cache()->Snap();
+  EXPECT_GT(s.hits, 0u);
+  EXPECT_GE(s.misses, 6u);  // at least one compulsory miss per combination
+  EXPECT_EQ(s.epoch, 0u);   // static engine: the generation never rotates
+}
+
+TEST(ServeTest, LegacyProviderModeNeverCaches) {
+  graph::Graph g = gen::ErdosRenyiGnm(30, 90, 4);
+  auto engine = std::make_shared<FrozenEsdIndex>(core::BuildFrozenIndex(g));
+  EsdQueryService::Options opts;
+  opts.num_threads = 1;
+  opts.cache_bytes = 1 << 20;  // requested, but the mode can't honor it
+  EsdQueryService service(
+      [engine]() -> std::shared_ptr<const core::EsdQueryEngine> {
+        return engine;
+      },
+      opts);
+  EXPECT_EQ(service.cache(), nullptr);
+  QueryRequest rq;
+  rq.k = 4;
+  rq.tau = 2;
+  EXPECT_EQ(service.Query(rq).result, engine->Query(4, 2));
+}
+
+// Regression: the per-request (non-frozen) path used to bump the
+// distinct-tau count once per request, so equal-tau batches reported zero
+// slab searches saved even though tau-batching grouped them.
+TEST(ServeTest, DegenerateBatchCountsDistinctTausOnce) {
+  graph::Graph g = gen::ErdosRenyiGnm(30, 90, 12);
+  std::string error;
+  std::unique_ptr<core::EsdQueryEngine> treap =
+      core::BuildQueryEngine(g, "treap", &error);
+  ASSERT_NE(treap, nullptr) << error;
+
+  EsdQueryService::Options opts;
+  opts.num_threads = 1;
+  opts.max_batch = 64;
+  opts.start_paused = true;
+  EsdQueryService service(*treap, opts);
+
+  const TopKResult want = treap->Query(4, 2);
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    QueryRequest rq;
+    rq.k = 4;
+    rq.tau = 2;
+    futures.push_back(service.Submit(rq));
+  }
+  service.Start();
+  for (auto& f : futures) {
+    QueryResponse resp = f.get();
+    EXPECT_EQ(resp.status, ResponseStatus::kOk);
+    EXPECT_EQ(resp.result, want);
+  }
+  const MetricsSnapshot snap = service.metrics().Snap();
+  EXPECT_EQ(snap.completed, 6u);
+  EXPECT_EQ(snap.batches, 1u);
+  EXPECT_EQ(snap.slab_searches_saved, 5u);  // 6 requests, 1 distinct tau
 }
 
 }  // namespace
