@@ -137,5 +137,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!esd::bench::WriteBenchArtifact("ablation_index_container")) return 1;
   return 0;
 }

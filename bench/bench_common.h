@@ -58,6 +58,22 @@ double TimeMean(Fn&& fn, int min_reps = 5, double min_seconds = 0.05) {
   return t.ElapsedSeconds() / reps;
 }
 
+/// Every JSON result line emitted so far, in emission order — the body of
+/// the BENCH_<name>.json artifact WriteBenchArtifact writes.
+inline std::vector<std::string>& RecordedRuns() {
+  static std::vector<std::string> runs;
+  return runs;
+}
+
+/// Prints one machine-readable result line (a complete JSON object) on
+/// stdout and records it for WriteBenchArtifact. Benches with bespoke
+/// schemas call this directly; the structured overloads below route
+/// through it.
+inline void EmitJsonLine(const std::string& line) {
+  std::printf("%s\n", line.c_str());
+  RecordedRuns().push_back(line);
+}
+
 /// One machine-readable result line on stdout, alongside the human tables:
 /// {"bench":...,"engine":...,"dataset":...,"op":...,"wall_ms":...,
 ///  "bytes":...}. Harness scripts filter stdout for lines starting with
@@ -66,11 +82,14 @@ double TimeMean(Fn&& fn, int min_reps = 5, double min_seconds = 0.05) {
 inline void EmitJson(const std::string& bench, const std::string& engine,
                      const std::string& dataset, const std::string& op,
                      double wall_ms, uint64_t bytes) {
-  std::printf(
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
       "{\"bench\":\"%s\",\"engine\":\"%s\",\"dataset\":\"%s\","
-      "\"op\":\"%s\",\"wall_ms\":%.6f,\"bytes\":%llu}\n",
+      "\"op\":\"%s\",\"wall_ms\":%.6f,\"bytes\":%llu}",
       bench.c_str(), engine.c_str(), dataset.c_str(), op.c_str(), wall_ms,
       static_cast<unsigned long long>(bytes));
+  EmitJsonLine(buf);
 }
 
 /// EmitJson with extra comma-separated "key":value fields (no braces, no
@@ -84,11 +103,49 @@ inline void EmitJson(const std::string& bench, const std::string& engine,
     EmitJson(bench, engine, dataset, op, wall_ms, bytes);
     return;
   }
-  std::printf(
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
       "{\"bench\":\"%s\",\"engine\":\"%s\",\"dataset\":\"%s\","
-      "\"op\":\"%s\",\"wall_ms\":%.6f,\"bytes\":%llu,%s}\n",
+      "\"op\":\"%s\",\"wall_ms\":%.6f,\"bytes\":%llu,",
       bench.c_str(), engine.c_str(), dataset.c_str(), op.c_str(), wall_ms,
-      static_cast<unsigned long long>(bytes), extra.c_str());
+      static_cast<unsigned long long>(bytes));
+  EmitJsonLine(std::string(buf) + extra + "}");
+}
+
+/// Writes every recorded result line to $ESD_BENCH_OUT/BENCH_<bench>.json
+/// as one canonical artifact CI archives:
+///   {"bench":"<name>","schema_version":1,"scale":S,"runs":[line,...]}
+/// Call once at the end of main; a no-op when $ESD_BENCH_OUT is unset (so
+/// ad-hoc and ctest runs stay file-free). Returns false (with a stderr
+/// diagnostic) only when the variable is set and the write fails.
+inline bool WriteBenchArtifact(const std::string& bench) {
+  const char* dir = std::getenv("ESD_BENCH_OUT");
+  if (dir == nullptr || dir[0] == '\0') return true;
+  const std::string path = std::string(dir) + "/BENCH_" + bench + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "%s: cannot write bench artifact %s\n",
+                 bench.c_str(), path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\"bench\":\"%s\",\"schema_version\":1,\"scale\":%g,",
+               bench.c_str(), BenchScale());
+  std::fprintf(f, "\"runs\":[");
+  const std::vector<std::string>& runs = RecordedRuns();
+  for (size_t i = 0; i < runs.size(); ++i) {
+    std::fprintf(f, "%s%s", i == 0 ? "\n" : ",\n", runs[i].c_str());
+  }
+  std::fprintf(f, "\n]}\n");
+  const bool ok = std::fclose(f) == 0;
+  if (ok) {
+    std::fprintf(stderr, "%s: bench artifact written to %s (%zu runs)\n",
+                 bench.c_str(), path.c_str(), runs.size());
+  } else {
+    std::fprintf(stderr, "%s: bench artifact close failed for %s\n",
+                 bench.c_str(), path.c_str());
+  }
+  return ok;
 }
 
 /// Every builder phase that PhaseSeries can charge time to (short names;

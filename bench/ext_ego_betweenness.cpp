@@ -62,5 +62,6 @@ int main() {
       "of hub neighborhood sizes — see DESIGN.md section 11 for why that\n"
       "trade buys exact top-k on the unmodified serving stack.\n");
   bench::MaybeWriteTrace("ext_ego_betweenness");
+  if (!bench::WriteBenchArtifact("ext_ego_betweenness")) return 1;
   return 0;
 }

@@ -60,5 +60,6 @@ int main() {
       "individually dense — a cohesion-weighted refinement of ESD running\n"
       "on the identical frozen/H-list serving machinery.\n");
   bench::MaybeWriteTrace("ext_truss_diversity");
+  if (!bench::WriteBenchArtifact("ext_truss_diversity")) return 1;
   return 0;
 }

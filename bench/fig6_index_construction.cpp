@@ -55,5 +55,6 @@ int main() {
                     bench::PhaseJsonFields(after_basic, after_clique));
   }
   bench::MaybeWriteTrace("fig6_index_construction");
+  if (!bench::WriteBenchArtifact("fig6_index_construction")) return 1;
   return 0;
 }

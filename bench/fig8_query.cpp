@@ -103,5 +103,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  if (!bench::WriteBenchArtifact("fig8_query")) return 1;
   return 0;
 }

@@ -118,18 +118,40 @@ void PrintRow(const char* mode, unsigned workers, unsigned clients,
               static_cast<unsigned long long>(snap.deadline_missed));
 }
 
+/// Workload/config fields shared by every serve_load JSON line, so the
+/// BENCH_serve_load.json artifact is self-describing: who generated the
+/// load (workers/clients/requests) against what.
+std::string ConfigJsonFields(unsigned workers, unsigned clients,
+                             uint64_t requests) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "\"workers\":%u,\"clients\":%u,\"requests\":%llu", workers,
+                clients, static_cast<unsigned long long>(requests));
+  return buf;
+}
+
 void EmitServeJson(const std::string& dataset, const std::string& op,
                    double wall_ms, uint64_t bytes,
-                   const MetricsSnapshot& snap, double qps) {
-  std::printf(
+                   const MetricsSnapshot& snap, double qps, unsigned workers,
+                   unsigned clients, uint64_t requests) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
       "{\"bench\":\"serve_load\",\"engine\":\"frozen\",\"scorer\":\"%s\","
       "\"dataset\":\"%s\","
-      "\"op\":\"%s\",\"wall_ms\":%.6f,\"bytes\":%llu,\"qps\":%.1f,%s,"
-      "\"queue_p50_us\":%.1f,\"exec_p50_us\":%.1f,\"mean_us\":%.1f}\n",
+      "\"op\":\"%s\",\"wall_ms\":%.6f,\"bytes\":%llu,\"qps\":%.1f,",
       std::string(g_scorer->Name()).c_str(), dataset.c_str(), op.c_str(),
-      wall_ms, static_cast<unsigned long long>(bytes), qps,
-      esd::serve::MetricsJsonFields(snap).c_str(), snap.queue_wait.p50_us,
-      snap.execute.p50_us, snap.total.mean_us);
+      wall_ms, static_cast<unsigned long long>(bytes), qps);
+  char tail[160];
+  std::snprintf(tail, sizeof(tail),
+                ",\"queue_p50_us\":%.1f,\"exec_p50_us\":%.1f,"
+                "\"mean_us\":%.1f}",
+                snap.queue_wait.p50_us, snap.execute.p50_us,
+                snap.total.mean_us);
+  esd::bench::EmitJsonLine(
+      std::string(buf) + ConfigJsonFields(workers, clients, requests) + "," +
+      esd::serve::MetricsJsonFields(snap) + "," +
+      esd::serve::StageJsonFields(snap) + tail);
 }
 
 /// Closed loop: `clients` threads submit-and-wait until `total` requests
@@ -341,6 +363,14 @@ bool RunLiveMixed(const esd::graph::Graph& g, const Workload& mix,
 int main() {
   using namespace esd;
 
+  // Span collection costs real per-request work at these request rates
+  // (each served request emits its stage spans into the trace ring).
+  // Collect only when a trace sink is armed, so the throughput numbers
+  // reflect the always-on telemetry: stage histograms + slow log.
+  if (std::getenv("ESD_TRACE_OUT") == nullptr) {
+    obs::Tracer::Global().SetEnabled(false);
+  }
+
   if (const char* env = std::getenv("ESD_SCORER")) {
     const core::DiversityScorer* s = core::FindScorer(env);
     if (s == nullptr) {
@@ -381,7 +411,8 @@ int main() {
     char op[32];
     std::snprintf(op, sizeof(op), "closed-w%u", workers);
     PrintRow("closed", workers, clients, qps, snap);
-    EmitServeJson(d.name, op, wall_ms, frozen.MemoryBytes(), snap, qps);
+    EmitServeJson(d.name, op, wall_ms, frozen.MemoryBytes(), snap, qps,
+                  workers, clients, closed_total);
   }
 
   // Open loop at ~60% of the measured closed-loop capacity, with a
@@ -395,7 +426,7 @@ int main() {
                                    /*deadline_us=*/100000, &snap, &wall_ms);
     PrintRow("open", hw, 1, qps, snap);
     EmitServeJson(d.name, "open-loop", wall_ms, frozen.MemoryBytes(), snap,
-                  qps);
+                  qps, hw, 1, open_total);
   }
 
   // Live mixed: readers against a hot-swapping LiveEsdIndex while a
@@ -420,19 +451,27 @@ int main() {
           live.write_rate_achieved, write_rate,
           static_cast<unsigned long long>(live.epochs), live.lag_mean,
           static_cast<unsigned long long>(live.lag_max), live.age_max_s);
-      std::printf(
+      char head[256], tail[256];
+      std::snprintf(
+          head, sizeof(head),
           "{\"bench\":\"serve_load\",\"engine\":\"live\",\"scorer\":\"%s\","
           "\"dataset\":\"%s\","
-          "\"op\":\"live-mixed\",\"wall_ms\":%.6f,\"qps\":%.1f,%s,"
-          "\"write_rate\":%.1f,\"updates\":%llu,\"epochs\":%llu,"
-          "\"lag_mean\":%.2f,\"lag_max\":%llu,\"age_max_s\":%.4f}\n",
+          "\"op\":\"live-mixed\",\"wall_ms\":%.6f,\"qps\":%.1f,",
           std::string(g_scorer->Name()).c_str(), d.name.c_str(),
-          live.wall_ms, live.qps,
-          serve::MetricsJsonFields(live.snap).c_str(),
+          live.wall_ms, live.qps);
+      std::snprintf(
+          tail, sizeof(tail),
+          ",\"write_rate\":%.1f,\"updates\":%llu,\"epochs\":%llu,"
+          "\"lag_mean\":%.2f,\"lag_max\":%llu,\"age_max_s\":%.4f}",
           live.write_rate_achieved,
           static_cast<unsigned long long>(live.updates_applied),
           static_cast<unsigned long long>(live.epochs), live.lag_mean,
           static_cast<unsigned long long>(live.lag_max), live.age_max_s);
+      bench::EmitJsonLine(
+          std::string(head) +
+          ConfigJsonFields(workers, clients, live_reads) + "," +
+          serve::MetricsJsonFields(live.snap) + "," +
+          serve::StageJsonFields(live.snap) + tail);
     } else {
       std::fprintf(stderr, "live-mixed mode failed\n");
       return 1;
@@ -487,19 +526,27 @@ int main() {
                   qps, snap.total.p99_us,
                   static_cast<unsigned long long>(cstats.hits),
                   100.0 * cstats.hit_rate);
-      std::printf(
+      char head[256], tail[256];
+      std::snprintf(
+          head, sizeof(head),
           "{\"bench\":\"serve_load\",\"engine\":\"frozen\",\"scorer\":\"%s\","
           "\"dataset\":\"%s\",\"op\":\"%s\",\"wall_ms\":%.6f,"
-          "\"qps\":%.1f,%s,\"zipf_s\":%.2f,\"cache\":%s,"
-          "\"cache_hits\":%llu,\"cache_misses\":%llu,"
-          "\"cache_evictions\":%llu,\"cache_hit_rate\":%.4f}\n",
+          "\"qps\":%.1f,",
           std::string(g_scorer->Name()).c_str(), d.name.c_str(), op, wall_ms,
-          qps, serve::MetricsJsonFields(snap).c_str(), cfg.s,
-          cfg.cache ? "true" : "false",
-          static_cast<unsigned long long>(cstats.hits),
-          static_cast<unsigned long long>(cstats.misses),
-          static_cast<unsigned long long>(cstats.evictions),
-          cstats.hit_rate);
+          qps);
+      std::snprintf(tail, sizeof(tail),
+                    ",\"zipf_s\":%.2f,\"cache\":%s,"
+                    "\"cache_hits\":%llu,\"cache_misses\":%llu,"
+                    "\"cache_evictions\":%llu,\"cache_hit_rate\":%.4f}",
+                    cfg.s, cfg.cache ? "true" : "false",
+                    static_cast<unsigned long long>(cstats.hits),
+                    static_cast<unsigned long long>(cstats.misses),
+                    static_cast<unsigned long long>(cstats.evictions),
+                    cstats.hit_rate);
+      bench::EmitJsonLine(std::string(head) +
+                          ConfigJsonFields(workers, clients, sweep_total) +
+                          "," + serve::MetricsJsonFields(snap) + "," +
+                          serve::StageJsonFields(snap) + tail);
     }
     std::printf("  cache speedup at s=1.5: %.2fx (on %.0f qps / off %.0f "
                 "qps)\n",
@@ -515,5 +562,6 @@ int main() {
       best_multi_qps, single_thread_qps,
       single_thread_qps > 0 ? best_multi_qps / single_thread_qps : 0.0);
   bench::MaybeWriteTrace("serve_load");
+  if (!bench::WriteBenchArtifact("serve_load")) return 1;
   return 0;
 }

@@ -4,8 +4,13 @@
 //
 // Usage:
 //   esd_cli --file <edge_list> [--k 10] [--tau 2] [--engine NAME]
-//           [--save-index <path>] [--load-index <path>]
+//           [--save-index <path>] [--load-index <path>] [--explain]
 //   esd_cli --dataset pokec-s [--scale 0.2] [--k 10] [--tau 2]
+//
+// --explain re-runs the query with per-stage attribution (the same stage
+// taxonomy the serving layer uses: slab_scan / padding_scan / merge) and
+// prints where the time went. On a frozen engine the stages are timed
+// individually; other engines execute as one opaque stage.
 //
 // Engines: treap (the paper's index), frozen (read-optimized serving
 // image), dynamic (maintained index), online / online-mindeg (index-free
@@ -53,6 +58,8 @@
 #include "live/recovery.h"
 #include "live/wal.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace {
@@ -63,7 +70,7 @@ void Usage() {
                "usage: esd_cli (--file <edge_list> | --dataset <name>)\n"
                "               [--scale S] [--k K] [--tau T] [--engine E]\n"
                "               [--scorer esd|truss|egobw]\n"
-               "               [--online] [--stats] [--metrics]\n"
+               "               [--online] [--stats] [--metrics] [--explain]\n"
                "               [--save-index P] [--load-index P]\n"
                "               [--live-dir DIR]\n"
                "engines:",
@@ -94,6 +101,7 @@ int main(int argc, char** argv) {
   uint32_t k = 10, tau = 2;
   bool stats = false;
   bool metrics = false;
+  bool explain = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -123,6 +131,8 @@ int main(int argc, char** argv) {
       stats = true;
     } else if (arg == "--metrics") {
       metrics = true;
+    } else if (arg == "--explain") {
+      explain = true;
     } else if (arg == "--save-index") {
       save_index = next();
     } else if (arg == "--load-index") {
@@ -284,6 +294,48 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < result.size(); ++i) {
     std::printf("%-6zu (%u,%u)%-6s %u\n", i + 1, result[i].edge.u,
                 result[i].edge.v, "", result[i].score);
+  }
+
+  if (explain) {
+    // Attributed re-run: the same query, timed per stage with the serving
+    // layer's taxonomy. A frozen engine decomposes (its padded result is
+    // QueryAtSlab(pad=false) + PadQueryResult by construction); any other
+    // engine runs as one opaque slab_scan stage.
+    obs::RequestContext ctx;
+    ctx.request_id = obs::RequestContext::MintId();
+    ctx.admit_ns = obs::MonotonicNanos();
+    core::TopKResult explained;
+    const uint64_t t0 = obs::MonotonicNanos();
+    if (auto* frozen =
+            dynamic_cast<const core::FrozenEsdIndex*>(engine.get())) {
+      const size_t slab = frozen->FindSlab(tau);
+      explained = frozen->QueryAtSlab(slab, k, false);
+      const uint64_t t2 = obs::MonotonicNanos();
+      frozen->PadQueryResult(slab, k, &explained);
+      const uint64_t t3 = obs::MonotonicNanos();
+      // FindSlab rides inside slab_scan, matching the serving layer's
+      // attribution of the same path.
+      ctx.Charge(obs::Stage::kSlabScan, t2 - t0);
+      ctx.Charge(obs::Stage::kPaddingScan, t3 - t2);
+    } else {
+      explained = engine->Query(k, tau);
+      ctx.Charge(obs::Stage::kSlabScan, obs::MonotonicNanos() - t0);
+    }
+    std::printf("\nexplain rid=%llu (%s engine, k=%u, tau=%u): %zu edges, "
+                "%.1f us attributed\n",
+                static_cast<unsigned long long>(ctx.request_id),
+                engine_name.c_str(), k, tau, explained.size(),
+                static_cast<double>(ctx.AttributedNanos()) * 1e-3);
+    const double total =
+        static_cast<double>(ctx.AttributedNanos() > 0 ? ctx.AttributedNanos()
+                                                      : 1);
+    for (size_t s = 0; s < obs::kNumStages; ++s) {
+      const auto stage = static_cast<obs::Stage>(s);
+      if (ctx.StageNanos(stage) == 0) continue;
+      std::printf("  %-16s %10.1f us  (%.1f%%)\n", obs::StageName(stage),
+                  ctx.StageMicros(stage),
+                  100.0 * static_cast<double>(ctx.StageNanos(stage)) / total);
+    }
   }
 
   // Per-engine work counters, reachable through the interface for every

@@ -14,6 +14,15 @@
 //                     the health=ok|degraded|read-only field)
 //   METRICS           Prometheus text exposition of the global registry,
 //                     terminated by a "# EOF" line
+//   SLOWLOG [n]       the n (default: all retained) worst requests of the
+//                     trailing window as JSON lines, worst first, each with
+//                     its full per-stage attribution, tau/k, scorer, epoch,
+//                     cache outcome, and health at admission
+//   HISTORY [n]       the newest n (default 10) metric time-series
+//                     intervals as JSON lines (qps, cache hit-rate, rates
+//                     of every changed counter, changed gauges)
+//   HISTORY PROM      the latest interval's rates as recording-rule-style
+//                     Prometheus gauges, terminated by "# EOF"
 //   FAILPOINT <name> <spec>   arm a fail point at runtime (spec syntax as
 //                     in $ESD_FAILPOINTS, e.g. "error(ENOSPC)" or "off");
 //                     FAILPOINT clearall disarms everything
@@ -31,6 +40,7 @@
 //              [--requests 5000] [--max-queue 1024] [--deadline-us 0]
 //              [--engine frozen] [--scorer esd|truss|egobw]
 //              [--live-dir <dir>] [--refreeze-every N]
+//              [--slowlog N] [--history-interval-ms M] [--history-samples S]
 //   esd_server --file <edge_list> [--load-index <path>] ...
 //
 // --scorer serves a different diversity definition on the same stack: the
@@ -65,6 +75,8 @@
 #include "live/live_index.h"
 #include "live/wal.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "serve/metrics.h"
 #include "serve/query_service.h"
@@ -82,7 +94,9 @@ void Usage() {
                "                  [--clients C] [--requests R]\n"
                "                  [--max-queue Q] [--deadline-us D]\n"
                "                  [--load-index P] [--cache-bytes B]\n"
-               "                  [--live-dir DIR] [--refreeze-every N]\n",
+               "                  [--live-dir DIR] [--refreeze-every N]\n"
+               "                  [--slowlog N] [--history-interval-ms M]\n"
+               "                  [--history-samples S]\n",
                esd::kVersionString);
 }
 
@@ -115,6 +129,9 @@ int main(int argc, char** argv) {
   uint64_t deadline_us = 0;
   uint64_t refreeze_every = 256;
   size_t cache_bytes = 0;  // 0 = result cache off
+  size_t slowlog_capacity = 32;
+  uint64_t history_interval_ms = 1000;  // 0 = no background sampler
+  size_t history_samples = 120;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -152,6 +169,12 @@ int main(int argc, char** argv) {
       refreeze_every = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--cache-bytes") {
       cache_bytes = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--slowlog") {
+      slowlog_capacity = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--history-interval-ms") {
+      history_interval_ms = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--history-samples") {
+      history_samples = static_cast<size_t>(std::atoll(next()));
     } else {
       Usage();
       return 2;
@@ -258,6 +281,7 @@ int main(int argc, char** argv) {
   opts.num_threads = threads;
   opts.max_queue = max_queue;
   opts.cache_bytes = cache_bytes;
+  opts.slowlog_capacity = slowlog_capacity;
   // Host the service metrics on the process-wide registry so METRICS can
   // dump them alongside the engine counters and phase gauges.
   opts.registry = &obs::MetricRegistry::Global();
@@ -297,6 +321,26 @@ int main(int argc, char** argv) {
   std::printf("service up: %u worker threads, queue bound %zu%s\n\n",
               service.num_threads(), max_queue,
               service.cache() != nullptr ? ", result cache on" : "");
+
+  // Metrics time-series ring: periodic registry snapshots with delta/rate
+  // computation, served by the HISTORY command. The pre-sample hook pushes
+  // the pull-style gauges (live lag, combined health) so every interval is
+  // coherent. Stopped before the service/live teardown below.
+  obs::MetricHistory::Options hopts;
+  hopts.capacity = std::max<size_t>(2, history_samples);
+  hopts.interval = std::chrono::milliseconds(
+      history_interval_ms == 0 ? 1000 : history_interval_ms);
+  {
+    live::LiveEsdIndex* live_raw = live.get();
+    serve::EsdQueryService* svc = service_ptr.get();
+    hopts.pre_sample = [live_raw, svc] {
+      if (live_raw != nullptr) live_raw->ExportMetrics();
+      obs::ExportHealth(obs::MetricRegistry::Global(), svc->Health());
+    };
+  }
+  obs::MetricHistory history(obs::MetricRegistry::Global(), hopts);
+  history.SampleNow();  // interval 0 starts at server-up, not first scrape
+  if (history_interval_ms > 0) history.Start();
 
   // Burst: `clients` threads each fire their share of the requests, mixing
   // taus and ks, then report one sample response apiece.
@@ -381,6 +425,18 @@ int main(int argc, char** argv) {
       std::printf("OK %s %zu edges, queue %.1f us, exec %.1f us\n",
                   StatusName(resp.status), resp.result.size(), resp.queue_us,
                   resp.exec_us);
+      // The request-scoped attribution: where this specific query's time
+      // went, plus its id (grep the rid in TRACE output), cache outcome,
+      // and serving epoch.
+      std::printf("  rid=%llu epoch=%llu cache=%s stages[us]:",
+                  static_cast<unsigned long long>(resp.ctx.request_id),
+                  static_cast<unsigned long long>(resp.ctx.epoch),
+                  obs::CacheOutcomeName(resp.ctx.cache));
+      for (size_t s = 0; s < obs::kNumStages; ++s) {
+        std::printf(" %s=%.1f", obs::StageName(static_cast<obs::Stage>(s)),
+                    resp.ctx.StageMicros(static_cast<obs::Stage>(s)));
+      }
+      std::printf("\n");
       for (size_t i = 0; i < resp.result.size(); ++i) {
         std::printf("  %zu (%u,%u) %u\n", i + 1, resp.result[i].edge.u,
                     resp.result[i].edge.v, resp.result[i].score);
@@ -482,6 +538,42 @@ int main(int argc, char** argv) {
       obs::ExportHealth(registry, service.Health());
       std::fputs(registry.PrometheusText().c_str(), stdout);
       std::printf("# EOF\n");
+    } else if (cmd == "SLOWLOG") {
+      size_t n = 0;  // 0 = everything retained
+      in >> n;
+      const serve::SlowQueryLog& slowlog = service.slow_log();
+      const std::vector<std::string> lines = slowlog.JsonLines(n);
+      std::printf("OK slowlog %zu entries (capacity %zu, window %llds, "
+                  "%llu requests considered)\n",
+                  lines.size(), slowlog.capacity(),
+                  static_cast<long long>(slowlog.window().count()),
+                  static_cast<unsigned long long>(slowlog.recorded()));
+      for (const std::string& entry : lines) {
+        std::printf("%s\n", entry.c_str());
+      }
+    } else if (cmd == "HISTORY") {
+      std::string what;
+      in >> what;
+      // A scrape-time sample makes the command self-contained: even with
+      // the background sampler off (--history-interval-ms 0) there are
+      // always >= 2 samples to diff.
+      history.SampleNow();
+      if (what == "PROM") {
+        std::fputs(history.RatesPrometheus().c_str(), stdout);
+        std::printf("# EOF\n");
+      } else {
+        const size_t n =
+            what.empty() ? 10 : static_cast<size_t>(std::atoll(what.c_str()));
+        const std::vector<std::string> lines =
+            history.IntervalsJson(n == 0 ? 10 : n);
+        std::printf("OK history %zu intervals (ring %zu/%zu, interval "
+                    "%llu ms)\n",
+                    lines.size(), history.NumSamples(), history.capacity(),
+                    static_cast<unsigned long long>(history_interval_ms));
+        for (const std::string& interval : lines) {
+          std::printf("%s\n", interval.c_str());
+        }
+      }
     } else if (cmd == "FAILPOINT") {
       std::string name, spec;
       in >> name >> spec;
@@ -522,11 +614,14 @@ int main(int argc, char** argv) {
       }
     } else {
       std::printf("ERR unknown command (QUERY/INSERT/DELETE/CHECKPOINT/"
-                  "STATS/METRICS/FAILPOINT/TRACE/QUIT)\n");
+                  "STATS/METRICS/SLOWLOG/HISTORY/FAILPOINT/TRACE/QUIT)\n");
     }
     std::fflush(stdout);
   }
 
+  // The history sampler references the service and live index through its
+  // pre-sample hook: stop it before either can die.
+  history.Stop();
   // The background refreeze pool outlives the service object below: drop
   // the epoch listener first so no publish fires into a dead service.
   if (live != nullptr) live->SetEpochListener({});

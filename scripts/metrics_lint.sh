@@ -1,0 +1,73 @@
+#!/bin/sh
+# Metrics exposition lint: boots esd_server, scrapes METRICS, and fails on
+# malformed Prometheus text or undocumented esd_* metrics. Checks:
+#   - the exposition is non-empty and "# EOF"-terminated,
+#   - every line is # HELP, # TYPE, or `name[{label="v"}] value`,
+#   - every # TYPE is counter|gauge|summary and is preceded by its # HELP
+#     (an esd_* metric without help text is undocumented -> fail),
+#   - every sample's metric (or its summary base, for _sum/_count and
+#     quantile samples) carried a # TYPE.
+#
+# Usage: metrics_lint.sh <esd_server-binary>
+set -eu
+
+SERVER="$1"
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+printf 'METRICS\nQUIT\n' | \
+  "$SERVER" --dataset youtube-s --scale 0.1 --requests 200 --clients 2 \
+            --threads 2 > "$OUT"
+
+# The exposition is the block from the first # HELP through # EOF; the
+# burst preamble before it is not exposition text.
+EXPO="$(mktemp)"
+trap 'rm -f "$OUT" "$EXPO"' EXIT
+sed -n '/^# HELP /,/^# EOF$/p' "$OUT" > "$EXPO"
+
+if ! grep -q '^# EOF$' "$EXPO"; then
+  echo "metrics_lint: no # EOF-terminated exposition found" >&2
+  exit 1
+fi
+
+awk '
+  /^# EOF$/ { saw_eof = 1; exit }
+  /^# HELP / {
+    if ($3 in helped) { print "duplicate # HELP: " $3; bad = 1 }
+    helped[$3] = 1
+    next
+  }
+  /^# TYPE / {
+    if (!($3 in helped)) { print "undocumented metric (no # HELP): " $3; bad = 1 }
+    if ($4 != "counter" && $4 != "gauge" && $4 != "summary") {
+      print "bad type: " $0; bad = 1
+    }
+    typed[$3] = 1
+    if ($3 ~ /^esd_/) esd_typed++
+    next
+  }
+  /^#/ { print "unknown comment line: " $0; bad = 1; next }
+  {
+    if (NF != 2) { print "malformed sample: " $0; bad = 1; next }
+    name = $1
+    sub(/\{.*/, "", name)
+    base = name
+    sub(/_(sum|count)$/, "", base)
+    if (!(name in typed) && !(base in typed)) {
+      print "sample without # TYPE: " $0; bad = 1
+    }
+    if ($2 !~ /^-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$/ && \
+        $2 != "+Inf" && $2 != "NaN") {
+      print "malformed value: " $0; bad = 1
+    }
+  }
+  END {
+    if (!saw_eof) { print "exposition not terminated by # EOF"; bad = 1 }
+    if (esd_typed < 5) {
+      print "suspiciously few esd_* metrics (" esd_typed ")"; bad = 1
+    }
+    exit bad ? 1 : 0
+  }
+' "$EXPO" || { echo "metrics_lint: FAILED" >&2; exit 1; }
+
+echo "metrics_lint: OK ($(grep -c '^# TYPE ' "$EXPO") metrics)"

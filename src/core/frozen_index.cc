@@ -236,20 +236,31 @@ TopKResult FrozenEsdIndex::QueryAtSlab(size_t slab_index, uint32_t k,
   for (size_t i = 0; i < take; ++i) {
     out.push_back(ScoredEdge{edges_[slab[i].e], slab[i].score});
   }
-  if (pad_with_zero_edges && out.size() < k) {
-    util::FlatSet<EdgeId> included(take);
-    for (size_t i = 0; i < take; ++i) included.Insert(slab[i].e);
-    for (EdgeId e = 0; e < edges_.size() && out.size() < k; ++e) {
-      if (live_[e] && !included.Contains(e)) {
-        out.push_back(ScoredEdge{edges_[e], 0});
-      }
-    }
-  }
+  if (pad_with_zero_edges) PadQueryResult(slab_index, k, &out);
   // Only the real slab prefix counts as entries scanned: zero-padded filler
   // edges never touch a slab, and counting them would inflate the engine
   // work counters cache-benefit analysis compares against.
   counters_.AddEntriesScanned(take);
   return out;
+}
+
+void FrozenEsdIndex::PadQueryResult(size_t slab_index, uint32_t k,
+                                    TopKResult* inout) const {
+  TopKResult& out = *inout;
+  if (out.size() >= k) return;
+  std::span<const Entry> slab;
+  if (slab_index != kNoSlab) slab = ListAt(slab_index);
+  // The entries already in `out` are exactly the slab's first out.size()
+  // (the unpadded-answer precondition), so the dedup set rebuilds from the
+  // slab prefix rather than from the endpoint pairs.
+  const size_t take = std::min<size_t>(out.size(), slab.size());
+  util::FlatSet<EdgeId> included(take);
+  for (size_t i = 0; i < take; ++i) included.Insert(slab[i].e);
+  for (EdgeId e = 0; e < edges_.size() && out.size() < k; ++e) {
+    if (live_[e] && !included.Contains(e)) {
+      out.push_back(ScoredEdge{edges_[e], 0});
+    }
+  }
 }
 
 uint32_t FrozenEsdIndex::ScoreOf(EdgeId e, uint32_t tau) const {

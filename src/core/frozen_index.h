@@ -102,6 +102,14 @@ class FrozenEsdIndex final : public EsdQueryEngine {
   TopKResult QueryAtSlab(size_t slab, uint32_t k,
                          bool pad_with_zero_edges = true) const;
 
+  /// The zero-padding phase of QueryAtSlab, exposed separately so callers
+  /// that attribute per-stage time (the serving layer, esd_cli --explain)
+  /// can run scan and padding under distinct clocks. Requires *inout to be
+  /// the unpadded answer QueryAtSlab(slab, k, false) for the same slab and
+  /// k; afterwards *inout equals QueryAtSlab(slab, k, true) exactly (same
+  /// ascending-edge-id fill, same dedup against the slab prefix).
+  void PadQueryResult(size_t slab, uint32_t k, TopKResult* inout) const;
+
   uint32_t ScoreOf(graph::EdgeId e, uint32_t tau) const override;
   /// Two binary searches: one over sizes_, one over the slab (entries are
   /// score-descending, so the >= min_score prefix is a partition point).

@@ -212,7 +212,9 @@ EpochSnapshotManager::EpochSnapshotManager(const graph::Graph& base,
                                            const core::DiversityScorer& scorer)
     : writer_(base, scorer),
       applied_seq_(base_seq),
-      pool_(std::max(2u, pool_threads)) {
+      // Named track: background re-freezes show up as "refreeze-1" (etc.)
+      // in Chrome trace exports instead of bare thread ids.
+      pool_(std::max(2u, pool_threads), "refreeze") {
   Publish(core::Freeze(writer_.Index()), base_seq);
 }
 

@@ -141,6 +141,30 @@ size_t MetricRegistry::NumMetrics() const {
   return slots_.size();
 }
 
+std::vector<MetricRegistry::Sample> MetricRegistry::Samples() const {
+  std::vector<Sample> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) {
+    switch (slot.type) {
+      case Type::kCounter:
+        out.push_back(
+            {name, static_cast<double>(slot.counter->Value()), true});
+        break;
+      case Type::kGauge:
+        out.push_back({name, slot.gauge->Value(), false});
+        break;
+      case Type::kHistogram: {
+        const LatencyHistogram::Snapshot s = slot.histogram->Snap();
+        out.push_back({name + "_count", static_cast<double>(s.count), true});
+        out.push_back({name + "_sum", s.sum_us, true});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
 std::string MetricRegistry::PrometheusText() const {
   std::string out;
   std::lock_guard<std::mutex> lock(mu_);

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "obs/histogram.h"
 
@@ -90,6 +91,22 @@ class MetricRegistry {
   double GaugeValue(std::string_view name) const;
 
   size_t NumMetrics() const;
+
+  /// One scalar point of the registry's current state, as consumed by the
+  /// MetricHistory time-series ring. `monotone` marks values whose
+  /// between-sample deltas are meaningful rates (counters, histogram
+  /// _count/_sum); gauges are levels.
+  struct Sample {
+    std::string name;
+    double value = 0;
+    bool monotone = false;
+  };
+
+  /// Flattens every metric to scalar samples, sorted by name: counters and
+  /// gauges one sample each, histograms two monotone samples
+  /// (<name>_count, <name>_sum — quantiles are not rateable and are left
+  /// to PrometheusText()).
+  std::vector<Sample> Samples() const;
 
   std::string PrometheusText() const;
   std::string JsonFields() const;

@@ -1,0 +1,200 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/trace.h"
+
+namespace esd::obs {
+
+namespace {
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+MetricHistory::MetricHistory(MetricRegistry& registry, const Options& options)
+    : registry_(registry), options_(options) {}
+
+MetricHistory::~MetricHistory() { Stop(); }
+
+void MetricHistory::Start() {
+  std::lock_guard<std::mutex> lock(sampler_mu_);
+  if (sampler_.joinable()) return;
+  sampler_stop_ = false;
+  sampler_ = std::thread([this] { SamplerLoop(); });
+}
+
+void MetricHistory::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(sampler_mu_);
+    if (!sampler_.joinable()) return;
+    sampler_stop_ = true;
+  }
+  sampler_cv_.notify_all();
+  sampler_.join();
+}
+
+void MetricHistory::SamplerLoop() {
+  std::unique_lock<std::mutex> lock(sampler_mu_);
+  while (!sampler_stop_) {
+    lock.unlock();
+    SampleNow();
+    lock.lock();
+    sampler_cv_.wait_for(lock, options_.interval,
+                         [this] { return sampler_stop_; });
+  }
+}
+
+size_t MetricHistory::ColumnIndexLocked(const std::string& name,
+                                        bool monotone) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const size_t col = names_.size();
+  names_.push_back(name);
+  monotone_.push_back(monotone ? 1 : 0);
+  index_.emplace(name, col);
+  return col;
+}
+
+void MetricHistory::SampleNow() {
+  // The hook refreshes push-style gauges (e.g. live-index lag) and may
+  // take foreign locks, so it runs before ours.
+  if (options_.pre_sample) options_.pre_sample();
+  std::vector<MetricRegistry::Sample> points = registry_.Samples();
+  const uint64_t now_ns = MonotonicNanos();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Sample row;
+  row.taken_ns = now_ns;
+  // Registries only grow, so columns are append-only too; older (shorter)
+  // rows simply lack the newest columns and deltas skip them.
+  for (const MetricRegistry::Sample& p : points) {
+    const size_t col = ColumnIndexLocked(p.name, p.monotone);
+    if (row.values.size() <= col) row.values.resize(col + 1, 0.0);
+    row.values[col] = p.value;
+  }
+  ring_.push_back(std::move(row));
+  while (ring_.size() > std::max<size_t>(options_.capacity, 2)) {
+    ring_.pop_front();
+  }
+}
+
+size_t MetricHistory::NumSamples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::vector<std::string> MetricHistory::IntervalsJson(
+    size_t max_intervals) const {
+  std::vector<std::string> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < 2) return out;
+  const size_t intervals = ring_.size() - 1;
+  const size_t emit = std::min(max_intervals, intervals);
+  const uint64_t newest_ns = ring_.back().taken_ns;
+  auto column = [&](const Sample& s, size_t col) -> double {
+    return col < s.values.size() ? s.values[col] : 0.0;
+  };
+  auto find_col = [&](const char* name) -> size_t {
+    auto it = index_.find(name);
+    return it == index_.end() ? static_cast<size_t>(-1) : it->second;
+  };
+  const size_t completed_col = find_col("esd_serve_completed_total");
+  const size_t hits_col = find_col("esd_cache_hits");
+  const size_t misses_col = find_col("esd_cache_misses");
+  for (size_t i = intervals - emit; i < intervals; ++i) {
+    const Sample& a = ring_[i];
+    const Sample& b = ring_[i + 1];
+    const double dt_s =
+        std::max(1e-9, static_cast<double>(b.taken_ns - a.taken_ns) * 1e-9);
+    auto delta = [&](size_t col) -> double {
+      if (col == static_cast<size_t>(-1) || col >= a.values.size()) return 0;
+      return column(b, col) - column(a, col);
+    };
+    const double qps = delta(completed_col) / dt_s;
+    const double dh = delta(hits_col);
+    const double dm = delta(misses_col);
+    const double hit_rate = (dh + dm) > 0 ? dh / (dh + dm) : 0.0;
+
+    std::string line = "{\"age_s\":";
+    AppendDouble(&line, static_cast<double>(newest_ns - b.taken_ns) * 1e-9);
+    line.append(",\"dt_s\":");
+    AppendDouble(&line, dt_s);
+    line.append(",\"qps\":");
+    AppendDouble(&line, qps);
+    line.append(",\"cache_hit_rate\":");
+    AppendDouble(&line, hit_rate);
+    line.append(",\"rates\":{");
+    bool first = true;
+    // Only columns present in the older sample have a meaningful delta; a
+    // column born mid-window contributes from its next interval on.
+    const size_t cols = std::min(a.values.size(), b.values.size());
+    for (size_t c = 0; c < cols; ++c) {
+      if (monotone_[c] == 0) continue;
+      const double d = b.values[c] - a.values[c];
+      if (d == 0) continue;
+      if (!first) line.push_back(',');
+      first = false;
+      line.push_back('"');
+      line.append(names_[c]);  // sanitized charset: no JSON escaping needed
+      line.append("\":");
+      AppendDouble(&line, d / dt_s);
+    }
+    line.append("},\"gauges\":{");
+    first = true;
+    for (size_t c = 0; c < cols; ++c) {
+      if (monotone_[c] != 0) continue;
+      if (b.values[c] == a.values[c]) continue;
+      if (!first) line.push_back(',');
+      first = false;
+      line.push_back('"');
+      line.append(names_[c]);
+      line.append("\":");
+      AppendDouble(&line, b.values[c]);
+    }
+    line.append("}}");
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+std::string MetricHistory::RatesPrometheus() const {
+  std::string out;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < 2) return out;
+  const Sample& a = ring_[ring_.size() - 2];
+  const Sample& b = ring_.back();
+  const double dt_s =
+      std::max(1e-9, static_cast<double>(b.taken_ns - a.taken_ns) * 1e-9);
+  auto emit = [&](const std::string& name, double value) {
+    out.append("# TYPE ").append(name).append(" gauge\n");
+    out.append(name).push_back(' ');
+    AppendDouble(&out, value);
+    out.push_back('\n');
+  };
+  double completed_rate = 0;
+  double dh = 0;
+  double dm = 0;
+  const size_t cols = std::min(a.values.size(), b.values.size());
+  for (size_t c = 0; c < cols; ++c) {
+    if (monotone_[c] == 0) continue;
+    const double d = b.values[c] - a.values[c];
+    if (names_[c] == "esd_serve_completed_total") completed_rate = d / dt_s;
+    if (names_[c] == "esd_cache_hits") dh = d;
+    if (names_[c] == "esd_cache_misses") dm = d;
+    if (d == 0) continue;
+    // Recording-rule naming: <metric>:rate_per_s, the conventional
+    // aggregation-colon form, so dashboards can use them directly.
+    emit(names_[c] + ":rate_per_s", d / dt_s);
+  }
+  emit("esd_history_qps", completed_rate);
+  emit("esd_history_cache_hit_rate", (dh + dm) > 0 ? dh / (dh + dm) : 0.0);
+  return out;
+}
+
+}  // namespace esd::obs

@@ -1,0 +1,111 @@
+#ifndef ESD_OBS_TIMESERIES_H_
+#define ESD_OBS_TIMESERIES_H_
+
+/// Metrics time-series ring: periodic snapshots of a MetricRegistry with
+/// delta/rate computation, so a scrape gap no longer means blindness — the
+/// server itself remembers the last `capacity * interval` of qps,
+/// hit-rate, and refreeze-lag trends and serves them via esd_server's
+/// HISTORY command.
+///
+/// Retention math: the ring keeps `capacity` samples taken every
+/// `interval` (default 120 x 1s = a 2-minute horizon). Memory is
+/// capacity x columns x 8 bytes plus one interned name table — ~100
+/// metrics at the default settings cost under 100 KiB.
+///
+/// Works in both ESD_OBS modes (the registry is never compiled out).
+/// Thread-safe: SampleNow() and the readers take one mutex; the optional
+/// background sampler is a single thread woken every interval.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace esd::obs {
+
+class MetricHistory {
+ public:
+  struct Options {
+    /// Ring depth in samples; horizon = capacity * interval.
+    size_t capacity = 120;
+    /// Background sampling period (Start()/Stop() sampler).
+    std::chrono::milliseconds interval{1000};
+    /// Called right before each snapshot so push-style gauges are fresh
+    /// (e.g. LiveEsdIndex::ExportMetrics). May be empty.
+    std::function<void()> pre_sample;
+  };
+
+  explicit MetricHistory(MetricRegistry& registry)
+      : MetricHistory(registry, Options{}) {}
+  MetricHistory(MetricRegistry& registry, const Options& options);
+  ~MetricHistory();
+
+  MetricHistory(const MetricHistory&) = delete;
+  MetricHistory& operator=(const MetricHistory&) = delete;
+
+  /// Starts/stops the background sampler thread (idempotent). SampleNow()
+  /// remains callable either way — tests drive the ring manually.
+  void Start();
+  void Stop();
+
+  /// Takes one snapshot of the registry into the ring.
+  void SampleNow();
+
+  size_t NumSamples() const;
+  size_t capacity() const { return options_.capacity; }
+  std::chrono::milliseconds interval() const { return options_.interval; }
+
+  /// The newest `max_intervals` between-sample deltas, oldest first, one
+  /// JSON object per interval:
+  ///   {"age_s":..,"dt_s":..,"qps":..,"cache_hit_rate":..,
+  ///    "rates":{"<counter>":per_s,...},"gauges":{"<gauge>":level,...}}
+  /// "rates" holds monotone samples with a nonzero delta; "gauges" holds
+  /// levels that changed across the interval. qps and cache_hit_rate are
+  /// always present (derived from esd_serve_completed_total and
+  /// esd_cache_{hits,misses}_total; 0 when those metrics are absent).
+  /// Needs >= 2 samples; returns empty otherwise.
+  std::vector<std::string> IntervalsJson(size_t max_intervals) const;
+
+  /// Prometheus-friendly dump of the most recent interval's rates as
+  /// recording-rule-style gauges (`<name>:rate_per_s`), plus the derived
+  /// qps/hit-rate series. Empty string until two samples exist.
+  std::string RatesPrometheus() const;
+
+ private:
+  struct Sample {
+    uint64_t taken_ns = 0;
+    /// Dense row aligned with names_; columns added after this sample was
+    /// taken read as their first observed value (delta 0).
+    std::vector<double> values;
+  };
+
+  void SamplerLoop();
+  size_t ColumnIndexLocked(const std::string& name, bool monotone);
+
+  MetricRegistry& registry_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::vector<std::string> names_;          // column id -> metric name
+  std::vector<uint8_t> monotone_;           // column id -> rateable
+  std::unordered_map<std::string, size_t> index_;  // name -> column id
+  std::deque<Sample> ring_;
+
+  std::mutex sampler_mu_;
+  std::condition_variable sampler_cv_;
+  bool sampler_stop_ = false;
+  std::thread sampler_;
+};
+
+}  // namespace esd::obs
+
+#endif  // ESD_OBS_TIMESERIES_H_

@@ -61,12 +61,13 @@ Tracer::ThreadBuffer& Tracer::CurrentBuffer() {
 }
 
 void Tracer::RecordComplete(const char* name, uint64_t start_ns,
-                            uint64_t dur_ns) {
+                            uint64_t dur_ns, uint64_t id) {
   ThreadBuffer& buf = CurrentBuffer();
   const uint64_t h = buf.head.load(std::memory_order_relaxed);
   Event& e = buf.events[h % kRingCapacity];
   e.start_ns.store(start_ns, std::memory_order_relaxed);
   e.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  e.id.store(id, std::memory_order_relaxed);
   e.name.store(name, std::memory_order_relaxed);
   buf.head.store(h + 1, std::memory_order_release);
 }
@@ -105,6 +106,12 @@ std::string Tracer::ChromeTraceJson() const {
       AppendMicros(&out, e.start_ns.load(std::memory_order_relaxed));
       out.append(",\"dur\":");
       AppendMicros(&out, e.dur_ns.load(std::memory_order_relaxed));
+      const uint64_t id = e.id.load(std::memory_order_relaxed);
+      if (id != 0) {
+        // The request id is the trace id: filtering on rid in Perfetto
+        // reassembles one request's timeline across workers and batches.
+        out.append(",\"args\":{\"rid\":" + std::to_string(id) + "}");
+      }
       out.append("}");
     }
   }

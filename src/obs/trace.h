@@ -64,8 +64,11 @@ class Tracer {
   void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  /// Records one completed span on the calling thread's ring.
-  void RecordComplete(const char* name, uint64_t start_ns, uint64_t dur_ns);
+  /// Records one completed span on the calling thread's ring. A nonzero
+  /// `id` is exported as args.rid — the join key that groups one request's
+  /// spans across threads and batches (see obs/request_context.h).
+  void RecordComplete(const char* name, uint64_t start_ns, uint64_t dur_ns,
+                      uint64_t id = 0);
 
   /// Names the calling thread's track in the exported trace (defaults to
   /// "thread-<tid>" in registration order; the first registering thread
@@ -94,6 +97,7 @@ class Tracer {
     std::atomic<const char*> name{nullptr};
     std::atomic<uint64_t> start_ns{0};
     std::atomic<uint64_t> dur_ns{0};
+    std::atomic<uint64_t> id{0};  // 0 = no request association
   };
 
   struct ThreadBuffer {
@@ -153,7 +157,7 @@ class Tracer {
 
   void SetEnabled(bool) {}
   bool enabled() const { return false; }
-  void RecordComplete(const char*, uint64_t, uint64_t) {}
+  void RecordComplete(const char*, uint64_t, uint64_t, uint64_t = 0) {}
   void SetCurrentThreadName(std::string) {}
   std::string ChromeTraceJson() const { return "{\"traceEvents\":[]}"; }
   bool WriteChromeTrace(const std::string&, std::string* error = nullptr) {

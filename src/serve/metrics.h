@@ -1,6 +1,7 @@
 #ifndef ESD_SERVE_METRICS_H_
 #define ESD_SERVE_METRICS_H_
 
+#include <array>
 #include <cstdint>
 #include <cstdio>
 #include <memory>
@@ -8,6 +9,7 @@
 
 #include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 
 namespace esd::serve {
 
@@ -27,6 +29,10 @@ struct MetricsSnapshot {
   LatencyHistogram::Snapshot queue_wait;  ///< admission -> worker pickup
   LatencyHistogram::Snapshot execute;     ///< engine time per served query
   LatencyHistogram::Snapshot total;       ///< admission -> response ready
+  /// Per-stage attribution distributions, indexed by obs::Stage. Every
+  /// completed request records all six (zeros included), so _count matches
+  /// `completed` and sums partition the end-to-end time.
+  std::array<LatencyHistogram::Snapshot, obs::kNumStages> stages;
 };
 
 /// The instrumentation an EsdQueryService carries, hosted on an
@@ -64,7 +70,26 @@ class ServiceMetrics {
         execute_(reg_.GetHistogram("esd_serve_execute_us",
                                    "Engine time per served query, us")),
         total_(reg_.GetHistogram("esd_serve_total_us",
-                                 "Admission to response ready, us")) {}
+                                 "Admission to response ready, us")),
+        stages_{&reg_.GetHistogram(
+                    "esd_serve_stage_queue_wait_us",
+                    "Attribution: admission to batch pickup, us"),
+                &reg_.GetHistogram(
+                    "esd_serve_stage_batch_formation_us",
+                    "Attribution: batch start to this request's turn "
+                    "(sort, engine pin, earlier batchmates), us"),
+                &reg_.GetHistogram(
+                    "esd_serve_stage_cache_lookup_us",
+                    "Attribution: dedup probe + result-cache lookup, us"),
+                &reg_.GetHistogram(
+                    "esd_serve_stage_slab_scan_us",
+                    "Attribution: slab prefix scan / engine query, us"),
+                &reg_.GetHistogram(
+                    "esd_serve_stage_padding_scan_us",
+                    "Attribution: zero-padding walk over live edges, us"),
+                &reg_.GetHistogram(
+                    "esd_serve_stage_merge_us",
+                    "Attribution: answer assembly and cache insert, us")} {}
 
   ServiceMetrics(const ServiceMetrics&) = delete;
   ServiceMetrics& operator=(const ServiceMetrics&) = delete;
@@ -92,6 +117,19 @@ class ServiceMetrics {
   void SetQueueDepth(size_t depth) {
     queue_depth_.Set(static_cast<double>(depth));
   }
+  /// Records a served request's attribution breakdown. Zero-duration
+  /// stages are skipped — a stage histogram's _count is the number of
+  /// requests where that stage did work (so its quantiles describe actual
+  /// executions, undiluted by zeros), while the stage _sums still
+  /// partition end-to-end time exactly. Skipping zeros also halves the
+  /// shared-counter traffic on the hot path: a typical request touches
+  /// three or four of the six stages.
+  void RecordStages(const obs::RequestContext& ctx) {
+    for (size_t i = 0; i < obs::kNumStages; ++i) {
+      const uint64_t ns = ctx.stage_ns[i];
+      if (ns != 0) stages_[i]->RecordNanos(ns);
+    }
+  }
 
   MetricsSnapshot Snap() const {
     MetricsSnapshot s;
@@ -105,6 +143,9 @@ class ServiceMetrics {
     s.queue_wait = queue_wait_.Snap();
     s.execute = execute_.Snap();
     s.total = total_.Snap();
+    for (size_t i = 0; i < obs::kNumStages; ++i) {
+      s.stages[i] = stages_[i]->Snap();
+    }
     return s;
   }
 
@@ -121,6 +162,7 @@ class ServiceMetrics {
   obs::Histogram& queue_wait_;
   obs::Histogram& execute_;
   obs::Histogram& total_;
+  std::array<obs::Histogram*, obs::kNumStages> stages_;
 };
 
 /// Extra key/value fields (no surrounding braces) in the machine-readable
@@ -144,6 +186,23 @@ inline std::string MetricsJsonFields(const MetricsSnapshot& s) {
       s.total.p50_us, s.total.p95_us, s.total.p99_us, s.queue_wait.p95_us,
       s.execute.p95_us);
   return buf;
+}
+
+/// Per-stage attribution fields for the same JSON-line dialect: p95 and
+/// cumulative sum per stage, so bench artifacts can reconstruct both tail
+/// shape and where the run's total wall time went.
+inline std::string StageJsonFields(const MetricsSnapshot& s) {
+  std::string out;
+  char buf[128];
+  for (size_t i = 0; i < obs::kNumStages; ++i) {
+    const char* name = obs::StageName(static_cast<obs::Stage>(i));
+    std::snprintf(buf, sizeof(buf),
+                  "%s\"stage_%s_p95_us\":%.3f,\"stage_%s_sum_us\":%.1f",
+                  i == 0 ? "" : ",", name, s.stages[i].p95_us, name,
+                  s.stages[i].sum_us);
+    out.append(buf);
+  }
+  return out;
 }
 
 }  // namespace esd::serve

@@ -5,7 +5,6 @@
 
 #include "fault/failpoint.h"
 #include "obs/trace.h"
-#include "util/timer.h"
 
 namespace esd::serve {
 
@@ -13,6 +12,21 @@ namespace {
 
 double Micros(std::chrono::steady_clock::duration d) {
   return std::chrono::duration<double, std::micro>(d).count();
+}
+
+uint64_t Nanos(std::chrono::steady_clock::time_point t) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          t.time_since_epoch())
+          .count());
+}
+
+SlowQueryLog::Options SlowLogOptions(const EsdQueryService::Options& o) {
+  SlowQueryLog::Options s;
+  s.capacity = o.slowlog_capacity;
+  s.window = o.slowlog_window;
+  s.stripes = o.slowlog_stripes;
+  return s;
 }
 
 std::unique_ptr<ResultCache> MakeCache(const EsdQueryService::Options& options,
@@ -42,7 +56,8 @@ EsdQueryService::EsdQueryService(const core::EsdQueryEngine& engine,
       health_source_(options.health_source),
       metrics_(options.registry),
       cache_(MakeCache(options, metrics_)),  // static engine: epoch 0 forever
-      pool_(num_threads_) {
+      slow_log_(SlowLogOptions(options)),
+      pool_(num_threads_, "serve-worker") {
   if (!options.start_paused) Start();
 }
 
@@ -61,7 +76,8 @@ EsdQueryService::EsdQueryService(EngineProvider provider,
       // No epoch signal in this mode: the provider may swap engines under a
       // constant key, so caching would serve stale answers. Disabled.
       cache_(nullptr),
-      pool_(num_threads_) {
+      slow_log_(SlowLogOptions(options)),
+      pool_(num_threads_, "serve-worker") {
   if (!options.start_paused) Start();
 }
 
@@ -78,7 +94,8 @@ EsdQueryService::EsdQueryService(EpochEngineProvider provider,
       health_source_(options.health_source),
       metrics_(options.registry),
       cache_(MakeCache(options, metrics_)),
-      pool_(num_threads_) {
+      slow_log_(SlowLogOptions(options)),
+      pool_(num_threads_, "serve-worker") {
   if (!options.start_paused) Start();
 }
 
@@ -91,6 +108,9 @@ void EsdQueryService::Start() {
     started_ = true;
   }
   runner_ = std::thread([this] {
+    // The runner participates in its own ParallelFor, so it is worker 0;
+    // the pool's spawned threads are serve-worker-1..N-1.
+    obs::Tracer::Global().SetCurrentThreadName("serve-worker-0");
     pool_.ParallelFor(0, num_threads_, 1, [this](uint64_t) { WorkerLoop(); });
   });
 }
@@ -104,6 +124,13 @@ std::future<QueryResponse> EsdQueryService::Submit(
       request.deadline_us == 0
           ? Clock::time_point::max()
           : p.enqueued + std::chrono::microseconds(request.deadline_us);
+  // Telemetry context: the id minted here follows the request through
+  // batching, cache, slab execution, and back out in the response (and
+  // joins its trace spans under one rid).
+  p.ctx.request_id = obs::RequestContext::MintId();
+  p.ctx.admit_ns = Nanos(p.enqueued);
+  p.admit_health =
+      static_cast<obs::HealthState>(last_health_.load(std::memory_order_relaxed));
   std::future<QueryResponse> future = p.promise.get_future();
 
   ResponseStatus bounce = ResponseStatus::kOk;
@@ -200,6 +227,10 @@ void EsdQueryService::ServeBatch(std::vector<Pending> batch) {
   // Worker-stall fail point: a delay() spec here holds the whole batch
   // after pickup, the knob the deadline-expiry and queue-full tests turn.
   (void)ESD_FAILPOINT("serve.worker");
+  // Attribution epoch boundary: time before this instant is queue_wait,
+  // time between it and a request's own turn is batch_formation (their sum
+  // is the classic queue_us).
+  const uint64_t batch_start_ns = obs::MonotonicNanos();
   // Pin the serving engine once per batch. In provider mode the shared_ptr
   // keeps this batch's epoch alive even while the writer publishes newer
   // ones (RCU read-side); in static mode the engine outlives the service
@@ -219,6 +250,13 @@ void EsdQueryService::ServeBatch(std::vector<Pending> batch) {
     engine = pinned.get();
     frozen = dynamic_cast<const core::FrozenEsdIndex*>(engine);
   }
+  // Per-batch forensic stamps: upstream health is polled here (not per
+  // request) and published for future admissions to pick up.
+  if (health_source_) {
+    last_health_.store(static_cast<uint8_t>(health_source_()),
+                       std::memory_order_relaxed);
+  }
+  const core::ScorerKind scorer = engine->Scorer();
   // Group by (tau, k, pad) (stable: FIFO preserved among identical
   // requests) so the frozen engine's sizes_ binary search runs once per
   // distinct tau in the batch — one ascending-tau sweep — and identical
@@ -251,45 +289,108 @@ void EsdQueryService::ServeBatch(std::vector<Pending> batch) {
   // its answer (stable pointer into `responses`).
   const QueryRequest* prev_rq = nullptr;
   const core::TopKResult* prev_result = nullptr;
+  obs::Tracer& tracer = obs::Tracer::Global();
+  auto record_slow = [&](const Pending& p, const QueryResponse& r,
+                         bool missed, uint64_t now_ns) {
+    SlowQueryRecord rec;
+    rec.request_id = r.ctx.request_id;
+    rec.epoch = r.ctx.epoch;
+    // Stamped from a timestamp the serving loop already took, so the slow
+    // log never reads the clock itself on the hot path.
+    rec.recorded_ns = now_ns;
+    rec.tau = p.request.tau;
+    rec.k = p.request.k;
+    rec.pad_with_zero_edges = p.request.pad_with_zero_edges;
+    rec.deadline_missed = missed;
+    rec.scorer = scorer;
+    rec.cache = r.ctx.cache;
+    rec.health = p.admit_health;
+    rec.queue_us = r.queue_us;
+    rec.exec_us = r.exec_us;
+    rec.total_us = r.queue_us + r.exec_us;
+    for (size_t s = 0; s < obs::kNumStages; ++s) {
+      rec.stage_us[s] = static_cast<double>(r.ctx.stage_ns[s]) * 1e-3;
+    }
+    slow_log_.Record(std::move(rec));
+  };
   for (size_t i = 0; i < batch.size(); ++i) {
     const Pending& p = batch[i];
     const Clock::time_point picked_up = Clock::now();
+    const uint64_t t0 = Nanos(picked_up);
     QueryResponse& response = responses[i];
+    response.ctx = p.ctx;
+    obs::RequestContext& ctx = response.ctx;
+    ctx.epoch = epoch;
     response.queue_us = Micros(picked_up - p.enqueued);
+    // queue_wait ends where the batch began; everything since is
+    // batch_formation (sort, engine pin, earlier batchmates). Together
+    // they are exactly queue_us.
+    ctx.Charge(obs::Stage::kQueueWait, batch_start_ns > ctx.admit_ns
+                                           ? batch_start_ns - ctx.admit_ns
+                                           : 0);
+    ctx.Charge(obs::Stage::kBatchFormation,
+               t0 > batch_start_ns ? t0 - batch_start_ns : 0);
     if (picked_up > p.deadline) {
       response.status = ResponseStatus::kDeadlineMissed;
       metrics_.RecordDeadlineMissed(response.queue_us);
+      // Missed deadlines are forensic gold: they enter the slow log with
+      // their queue-side attribution even though the engine never ran.
+      record_slow(p, response, /*missed=*/true, t0);
     } else {
       const QueryRequest& rq = p.request;
-      util::Timer timer;
       if (!have_tau || last_tau != rq.tau) {
         ++distinct_taus;
         last_tau = rq.tau;
         have_tau = true;
       }
+      // Stage boundaries within this request's execution window:
+      // t0..t1 cache_lookup, t1..t2 slab_scan, t2..t3 padding_scan,
+      // t3..t4 merge.
+      uint64_t t1 = t0;
+      uint64_t t2 = t0;
+      uint64_t t3 = t0;
       if (prev_rq != nullptr && prev_rq->tau == rq.tau &&
           prev_rq->k == rq.k &&
           prev_rq->pad_with_zero_edges == rq.pad_with_zero_edges) {
         // Identical to the previous request of this batch (same pinned
-        // engine): copy its answer.
+        // engine): copy its answer (the copy itself is merge work).
+        t1 = t2 = t3 = obs::MonotonicNanos();
+        ctx.cache = obs::CacheOutcome::kDedup;
         response.result = *prev_result;
       } else if (cache_ != nullptr &&
                  cache_->Lookup(epoch, rq.tau, rq.k, rq.pad_with_zero_edges,
                                 &response.result)) {
         // Cache hit: answered without touching the engine.
+        t1 = t2 = t3 = obs::MonotonicNanos();
+        ctx.cache = obs::CacheOutcome::kHit;
       } else {
+        ctx.cache = cache_ != nullptr ? obs::CacheOutcome::kMiss
+                                      : obs::CacheOutcome::kNone;
+        // Without a cache there was no lookup to time: cache_lookup is
+        // identically zero and the clock read would only measure itself.
+        t1 = cache_ != nullptr ? obs::MonotonicNanos() : t0;
         if (frozen != nullptr && rq.k > 0 && rq.tau > 0) {
           if (!have_slab || slab_tau != rq.tau) {
             slab = frozen->FindSlab(rq.tau);
             slab_tau = rq.tau;
             have_slab = true;
           }
-          response.result =
-              frozen->QueryAtSlab(slab, rq.k, rq.pad_with_zero_edges);
+          // Scan and padding run under separate clocks (identical answer
+          // to QueryAtSlab(slab, k, pad)): the skew sweep showed deep-k
+          // padding dominating misses, and this is where that shows up.
+          response.result = frozen->QueryAtSlab(slab, rq.k, false);
+          t2 = obs::MonotonicNanos();
+          t3 = t2;
+          if (rq.pad_with_zero_edges) {
+            frozen->PadQueryResult(slab, rq.k, &response.result);
+            t3 = obs::MonotonicNanos();
+          }
         } else {
-          // Degenerate (k or tau 0) or non-frozen engine: per-request path.
+          // Degenerate (k or tau 0) or non-frozen engine: per-request
+          // path, attributed wholly to slab_scan.
           response.result =
               engine->Query(rq.k, rq.tau, rq.pad_with_zero_edges);
+          t2 = t3 = obs::MonotonicNanos();
         }
         if (cache_ != nullptr) {
           cache_->Insert(epoch, rq.tau, rq.k, rq.pad_with_zero_edges,
@@ -298,10 +399,45 @@ void EsdQueryService::ServeBatch(std::vector<Pending> batch) {
       }
       prev_rq = &rq;
       prev_result = &response.result;
-      response.exec_us = timer.ElapsedMicros();
+      const uint64_t t4 = obs::MonotonicNanos();
+      ctx.Charge(obs::Stage::kCacheLookup, t1 - t0);
+      ctx.Charge(obs::Stage::kSlabScan, t2 - t1);
+      ctx.Charge(obs::Stage::kPaddingScan, t3 - t2);
+      ctx.Charge(obs::Stage::kMerge, t4 - t3);
+      response.exec_us = static_cast<double>(t4 - t0) * 1e-3;
       response.status = ResponseStatus::kOk;
       metrics_.RecordCompleted(response.queue_us, response.exec_us);
+      metrics_.RecordStages(ctx);
       ++executed;
+      record_slow(p, response, /*missed=*/false, t4);
+      if (tracer.enabled()) {
+        // One span per nonzero stage, all joined by args.rid — a filtered
+        // Perfetto view reassembles this request's admission -> batch ->
+        // slab timeline even though it shared a batch and a worker track.
+        const uint64_t rid = ctx.request_id;
+        tracer.RecordComplete(obs::StageSpanName(obs::Stage::kQueueWait),
+                              ctx.admit_ns,
+                              ctx.StageNanos(obs::Stage::kQueueWait), rid);
+        tracer.RecordComplete(
+            obs::StageSpanName(obs::Stage::kBatchFormation), batch_start_ns,
+            ctx.StageNanos(obs::Stage::kBatchFormation), rid);
+        if (t1 > t0) {
+          tracer.RecordComplete(obs::StageSpanName(obs::Stage::kCacheLookup),
+                                t0, t1 - t0, rid);
+        }
+        if (t2 > t1) {
+          tracer.RecordComplete(obs::StageSpanName(obs::Stage::kSlabScan),
+                                t1, t2 - t1, rid);
+        }
+        if (t3 > t2) {
+          tracer.RecordComplete(
+              obs::StageSpanName(obs::Stage::kPaddingScan), t2, t3 - t2, rid);
+        }
+        if (t4 > t3) {
+          tracer.RecordComplete(obs::StageSpanName(obs::Stage::kMerge), t3,
+                                t4 - t3, rid);
+        }
+      }
     }
   }
   if (executed > 0) metrics_.RecordBatch(distinct_taus, executed);

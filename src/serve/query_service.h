@@ -1,6 +1,7 @@
 #ifndef ESD_SERVE_QUERY_SERVICE_H_
 #define ESD_SERVE_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -16,8 +17,10 @@
 #include "core/frozen_index.h"
 #include "core/query_engine.h"
 #include "obs/health.h"
+#include "obs/request_context.h"
 #include "serve/metrics.h"
 #include "serve/result_cache.h"
+#include "serve/slowlog.h"
 #include "util/thread_pool.h"
 
 namespace esd::serve {
@@ -46,6 +49,11 @@ struct QueryResponse {
   core::TopKResult result;  ///< empty unless status == kOk
   double queue_us = 0;      ///< admission -> worker pickup (0 if rejected)
   double exec_us = 0;       ///< engine time (0 unless status == kOk)
+  /// Request-scoped telemetry: the id minted at admission, the epoch the
+  /// answer came from, the cache outcome, and the per-stage attribution
+  /// (queue_wait + batch_formation == queue_us; the remaining stages
+  /// partition exec_us). Zeroed for rejected/shutdown responses.
+  obs::RequestContext ctx;
 };
 
 /// Concurrent query service over one shared immutable EsdQueryEngine — the
@@ -111,6 +119,11 @@ class EsdQueryService {
     size_t cache_entries = 1 << 16;
     /// Lock stripes of the result cache.
     size_t cache_shards = 16;
+    /// Slow-query forensics (always on): worst requests retained per
+    /// trailing window, served by slow_log() / esd_server's SLOWLOG.
+    size_t slowlog_capacity = 32;
+    std::chrono::seconds slowlog_window{60};
+    size_t slowlog_stripes = 8;
   };
 
   /// Returns the engine a batch should serve from. Called once per batch
@@ -168,6 +181,10 @@ class EsdQueryService {
   const ServiceMetrics& metrics() const { return metrics_; }
   unsigned num_threads() const { return num_threads_; }
 
+  /// The always-on slow-query ring log (worst requests of the trailing
+  /// window, with full per-stage attribution).
+  const SlowQueryLog& slow_log() const { return slow_log_; }
+
   /// Epoch-change notification, wired to LiveEsdIndex::SetEpochListener so
   /// the cache generation rotates at publish time instead of lazily on the
   /// first post-swap lookup. Safe from any thread; no-op when caching is
@@ -193,6 +210,12 @@ class EsdQueryService {
     std::promise<QueryResponse> promise;
     Clock::time_point enqueued;
     Clock::time_point deadline;  // time_point::max() when none
+    /// Telemetry context minted at admission; travels with the request and
+    /// is returned in the response.
+    obs::RequestContext ctx;
+    /// Serving health as last sampled when this request was admitted (the
+    /// upstream feed is polled per batch, not per admission).
+    obs::HealthState admit_health = obs::HealthState::kOk;
   };
 
   void WorkerLoop();
@@ -216,6 +239,11 @@ class EsdQueryService {
   /// Declared after metrics_: the cache registers its esd_cache_* metrics
   /// on metrics_.registry(). Null when caching is disabled.
   std::unique_ptr<ResultCache> cache_;
+  SlowQueryLog slow_log_;
+  /// Latest upstream health observation (one byte of HealthState),
+  /// refreshed once per served batch and stamped into admissions — slow-log
+  /// entries carry it without a per-request lock on the health source.
+  std::atomic<uint8_t> last_health_{0};
   util::ThreadPool pool_;
 
   mutable std::mutex mu_;

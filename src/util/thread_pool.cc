@@ -13,14 +13,19 @@ unsigned ThreadPool::DefaultThreadCount() {
   return n == 0 ? 1 : n;
 }
 
-ThreadPool::ThreadPool(unsigned num_threads)
+ThreadPool::ThreadPool(unsigned num_threads) : ThreadPool(num_threads, {}) {}
+
+ThreadPool::ThreadPool(unsigned num_threads, std::string thread_name_prefix)
     : num_threads_(std::max(1u, num_threads)) {
+  if (thread_name_prefix.empty()) thread_name_prefix = "esd-pool";
   workers_.reserve(num_threads_ - 1);
   for (unsigned i = 0; i + 1 < num_threads_; ++i) {
-    workers_.emplace_back([this, i] {
+    workers_.emplace_back([this, i, thread_name_prefix] {
       // Names the worker's track in exported Chrome traces (no-op stub
-      // under ESD_OBS=OFF). The calling thread stays track 0/"main".
-      obs::Tracer::Global().SetCurrentThreadName("esd-pool-" +
+      // under ESD_OBS=OFF). The calling thread stays on its own track —
+      // owners that participate (the serve runner) name themselves
+      // "<prefix>-0".
+      obs::Tracer::Global().SetCurrentThreadName(thread_name_prefix + "-" +
                                                  std::to_string(i + 1));
       WorkerLoop();
     });

@@ -9,6 +9,7 @@
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -22,8 +23,12 @@ namespace esd::util {
 class ThreadPool {
  public:
   /// Spawns `num_threads - 1` workers (the calling thread participates in
-  /// ParallelFor). `num_threads` is clamped to >= 1.
+  /// ParallelFor). `num_threads` is clamped to >= 1. Workers name their
+  /// Chrome-trace tracks "<thread_name_prefix>-<i>" starting at 1 (the
+  /// owning thread is "-0" by convention when it participates); an empty
+  /// prefix means "esd-pool".
   explicit ThreadPool(unsigned num_threads);
+  ThreadPool(unsigned num_threads, std::string thread_name_prefix);
   ~ThreadPool();
 
   /// std::thread::hardware_concurrency clamped to >= 1 — the default worker

@@ -37,6 +37,7 @@
 #include "obs/search_stats.h"
 #include "obs/trace.h"
 #include "serve/metrics.h"
+#include "tests/test_helpers.h"
 
 namespace esd {
 namespace {
@@ -45,176 +46,15 @@ using obs::LatencyHistogram;
 using obs::MetricRegistry;
 using obs::Tracer;
 
+// JSON schema-check DOM shared with telemetry_test.cc.
+using test::JsonParser;
+using test::JsonValue;
+
 // The three layers share one stats type — satellite of the dedup: a change
 // to the online-search counters is a change everywhere at once.
 static_assert(std::is_same_v<core::OnlineStats, obs::OnlineSearchStats>);
 static_assert(
     std::is_same_v<baselines::VertexOnlineStats, obs::OnlineSearchStats>);
-
-// ---------------------------------------------------------------------------
-// A minimal JSON DOM, enough to schema-check the exporters' output. Not a
-// general parser: escapes are validated and skipped, numbers go through
-// strtod, and trailing garbage fails the parse.
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string str;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  const JsonValue* Find(const std::string& key) const {
-    auto it = object.find(key);
-    return it == object.end() ? nullptr : &it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text)
-      : p_(text.data()), end_(text.data() + text.size()) {}
-
-  bool Parse(JsonValue* out) {
-    SkipWs();
-    if (!ParseValue(out)) return false;
-    SkipWs();
-    return p_ == end_;
-  }
-
- private:
-  void SkipWs() {
-    while (p_ < end_ &&
-           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
-      ++p_;
-    }
-  }
-
-  bool Literal(const char* word) {
-    const char* q = p_;
-    for (; *word != '\0'; ++word, ++q) {
-      if (q >= end_ || *q != *word) return false;
-    }
-    p_ = q;
-    return true;
-  }
-
-  bool ParseString(std::string* out) {
-    if (p_ >= end_ || *p_ != '"') return false;
-    ++p_;
-    out->clear();
-    while (p_ < end_ && *p_ != '"') {
-      if (*p_ == '\\') {
-        ++p_;
-        if (p_ >= end_) return false;
-        const char c = *p_++;
-        if (c == 'u') {
-          for (int i = 0; i < 4; ++i, ++p_) {
-            if (p_ >= end_ || !std::isxdigit(static_cast<unsigned char>(*p_)))
-              return false;
-          }
-          out->push_back('?');  // code point identity is irrelevant here
-        } else if (c == '"' || c == '\\' || c == '/' || c == 'b' ||
-                   c == 'f' || c == 'n' || c == 'r' || c == 't') {
-          out->push_back(c == 'n' ? '\n' : c);
-        } else {
-          return false;
-        }
-      } else {
-        out->push_back(*p_++);
-      }
-    }
-    if (p_ >= end_) return false;
-    ++p_;  // closing quote
-    return true;
-  }
-
-  bool ParseValue(JsonValue* out) {
-    SkipWs();
-    if (p_ >= end_) return false;
-    if (*p_ == '{') {
-      ++p_;
-      out->kind = JsonValue::Kind::kObject;
-      SkipWs();
-      if (p_ < end_ && *p_ == '}') {
-        ++p_;
-        return true;
-      }
-      while (true) {
-        SkipWs();
-        std::string key;
-        if (!ParseString(&key)) return false;
-        SkipWs();
-        if (p_ >= end_ || *p_ != ':') return false;
-        ++p_;
-        JsonValue child;
-        if (!ParseValue(&child)) return false;
-        out->object.emplace(std::move(key), std::move(child));
-        SkipWs();
-        if (p_ < end_ && *p_ == ',') {
-          ++p_;
-          continue;
-        }
-        break;
-      }
-      if (p_ >= end_ || *p_ != '}') return false;
-      ++p_;
-      return true;
-    }
-    if (*p_ == '[') {
-      ++p_;
-      out->kind = JsonValue::Kind::kArray;
-      SkipWs();
-      if (p_ < end_ && *p_ == ']') {
-        ++p_;
-        return true;
-      }
-      while (true) {
-        JsonValue child;
-        if (!ParseValue(&child)) return false;
-        out->array.push_back(std::move(child));
-        SkipWs();
-        if (p_ < end_ && *p_ == ',') {
-          ++p_;
-          continue;
-        }
-        break;
-      }
-      if (p_ >= end_ || *p_ != ']') return false;
-      ++p_;
-      return true;
-    }
-    if (*p_ == '"') {
-      out->kind = JsonValue::Kind::kString;
-      return ParseString(&out->str);
-    }
-    if (Literal("true")) {
-      out->kind = JsonValue::Kind::kBool;
-      out->boolean = true;
-      return true;
-    }
-    if (Literal("false")) {
-      out->kind = JsonValue::Kind::kBool;
-      out->boolean = false;
-      return true;
-    }
-    if (Literal("null")) {
-      out->kind = JsonValue::Kind::kNull;
-      return true;
-    }
-    char* after = nullptr;
-    const double v = std::strtod(p_, &after);
-    if (after == p_ || after > end_) return false;
-    out->kind = JsonValue::Kind::kNumber;
-    out->number = v;
-    p_ = after;
-    return true;
-  }
-
-  const char* p_;
-  const char* end_;
-};
 
 // ---------------------------------------------------------------------------
 // LatencyHistogram
@@ -366,7 +206,8 @@ TEST(ObsMetricsTest, PrometheusTextExpositionParses) {
   ASSERT_FALSE(text.empty());
   ASSERT_EQ(text.back(), '\n');
 
-  std::set<std::string> typed;  // metrics with a # TYPE line seen so far
+  std::set<std::string> typed;   // metrics with a # TYPE line seen so far
+  std::set<std::string> helped;  // metrics with a # HELP line seen so far
   std::map<std::string, double> samples;
   size_t pos = 0;
   while (pos < text.size()) {
@@ -375,14 +216,33 @@ TEST(ObsMetricsTest, PrometheusTextExpositionParses) {
     const std::string line = text.substr(pos, eol - pos);
     pos = eol + 1;
     ASSERT_FALSE(line.empty());
-    if (line.rfind("# HELP ", 0) == 0) continue;
+    if (line.rfind("# HELP ", 0) == 0) {
+      const size_t sp = line.find(' ', 7);
+      ASSERT_NE(sp, std::string::npos) << line;
+      const std::string name = line.substr(7, sp - 7);
+      EXPECT_TRUE(helped.insert(name).second)
+          << "duplicate # HELP for " << name;
+      // Help escaping contract: any backslash introduces \\ or \n, so the
+      // help text can never smuggle a raw newline or ambiguous escape.
+      const std::string help = line.substr(sp + 1);
+      for (size_t b = 0; b < help.size(); ++b) {
+        if (help[b] != '\\') continue;
+        ASSERT_LT(b + 1, help.size()) << "dangling backslash: " << line;
+        EXPECT_TRUE(help[b + 1] == '\\' || help[b + 1] == 'n') << line;
+        ++b;
+      }
+      continue;
+    }
     if (line.rfind("# TYPE ", 0) == 0) {
       const size_t sp = line.find(' ', 7);
       ASSERT_NE(sp, std::string::npos) << line;
+      const std::string name = line.substr(7, sp - 7);
       const std::string type = line.substr(sp + 1);
       EXPECT_TRUE(type == "counter" || type == "gauge" || type == "summary")
           << line;
-      typed.insert(line.substr(7, sp - 7));
+      // Exposition convention: # HELP precedes # TYPE for every metric.
+      EXPECT_TRUE(helped.count(name)) << "# TYPE before # HELP: " << line;
+      typed.insert(name);
       continue;
     }
     ASSERT_NE(line[0], '#') << "unknown comment: " << line;
@@ -431,6 +291,28 @@ TEST(ObsMetricsTest, PrometheusTextExpositionParses) {
               200.0 * 0.125);
   EXPECT_NEAR(samples.at("esd_test_latency_us{quantile=\"0.99\"}"), 300.0,
               300.0 * 0.125);
+  // Every typed metric carried help, and vice versa.
+  EXPECT_EQ(typed, helped);
+}
+
+// Samples() is the exporter MetricHistory snapshots: counters and histogram
+// _count/_sum columns are monotone (rateable), gauges are levels.
+TEST(ObsMetricsTest, SamplesExportsAllMetricKinds) {
+  MetricRegistry reg;
+  reg.GetCounter("esd_s_total", "c").Inc(7);
+  reg.GetGauge("esd_s_depth", "g").Set(1.25);
+  reg.GetHistogram("esd_s_lat_us", "h").RecordMicros(50.0);
+
+  std::map<std::string, std::pair<double, bool>> got;
+  for (const obs::MetricRegistry::Sample& s : reg.Samples()) {
+    got[s.name] = {s.value, s.monotone};
+  }
+  ASSERT_EQ(got.size(), 4u);
+  EXPECT_EQ(got.at("esd_s_total"), (std::pair<double, bool>{7.0, true}));
+  EXPECT_EQ(got.at("esd_s_depth"), (std::pair<double, bool>{1.25, false}));
+  EXPECT_EQ(got.at("esd_s_lat_us_count"),
+            (std::pair<double, bool>{1.0, true}));
+  EXPECT_EQ(got.at("esd_s_lat_us_sum"), (std::pair<double, bool>{50.0, true}));
 }
 
 TEST(ObsMetricsTest, JsonFieldsFormValidJson) {

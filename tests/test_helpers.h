@@ -2,8 +2,11 @@
 #define ESD_TESTS_TEST_HELPERS_H_
 
 #include <algorithm>
+#include <cctype>
+#include <cstdlib>
 #include <map>
 #include <set>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -76,6 +79,171 @@ inline std::vector<uint32_t> NaiveTopScores(const graph::Graph& g, uint32_t k,
                                             uint32_t tau) {
   return core::Scores(core::NaiveTopK(g, k, tau));
 }
+
+// ---------------------------------------------------------------------------
+// A minimal JSON DOM, enough to schema-check the exporters' output. Not a
+// general parser: escapes are validated and skipped, numbers go through
+// strtod, and trailing garbage fails the parse.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  bool Parse(JsonValue* out) {
+    SkipWs();
+    if (!ParseValue(out)) return false;
+    SkipWs();
+    return p_ == end_;
+  }
+
+ private:
+  void SkipWs() {
+    while (p_ < end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const char* q = p_;
+    for (; *word != '\0'; ++word, ++q) {
+      if (q >= end_ || *q != *word) return false;
+    }
+    p_ = q;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (p_ >= end_ || *p_ != '"') return false;
+    ++p_;
+    out->clear();
+    while (p_ < end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ >= end_) return false;
+        const char c = *p_++;
+        if (c == 'u') {
+          for (int i = 0; i < 4; ++i, ++p_) {
+            if (p_ >= end_ || !std::isxdigit(static_cast<unsigned char>(*p_)))
+              return false;
+          }
+          out->push_back('?');  // code point identity is irrelevant here
+        } else if (c == '"' || c == '\\' || c == '/' || c == 'b' ||
+                   c == 'f' || c == 'n' || c == 'r' || c == 't') {
+          out->push_back(c == 'n' ? '\n' : c);
+        } else {
+          return false;
+        }
+      } else {
+        out->push_back(*p_++);
+      }
+    }
+    if (p_ >= end_) return false;
+    ++p_;  // closing quote
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipWs();
+    if (p_ >= end_) return false;
+    if (*p_ == '{') {
+      ++p_;
+      out->kind = JsonValue::Kind::kObject;
+      SkipWs();
+      if (p_ < end_ && *p_ == '}') {
+        ++p_;
+        return true;
+      }
+      while (true) {
+        SkipWs();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        SkipWs();
+        if (p_ >= end_ || *p_ != ':') return false;
+        ++p_;
+        JsonValue child;
+        if (!ParseValue(&child)) return false;
+        out->object.emplace(std::move(key), std::move(child));
+        SkipWs();
+        if (p_ < end_ && *p_ == ',') {
+          ++p_;
+          continue;
+        }
+        break;
+      }
+      if (p_ >= end_ || *p_ != '}') return false;
+      ++p_;
+      return true;
+    }
+    if (*p_ == '[') {
+      ++p_;
+      out->kind = JsonValue::Kind::kArray;
+      SkipWs();
+      if (p_ < end_ && *p_ == ']') {
+        ++p_;
+        return true;
+      }
+      while (true) {
+        JsonValue child;
+        if (!ParseValue(&child)) return false;
+        out->array.push_back(std::move(child));
+        SkipWs();
+        if (p_ < end_ && *p_ == ',') {
+          ++p_;
+          continue;
+        }
+        break;
+      }
+      if (p_ >= end_ || *p_ != ']') return false;
+      ++p_;
+      return true;
+    }
+    if (*p_ == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->str);
+    }
+    if (Literal("true")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (Literal("false")) {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (Literal("null")) {
+      out->kind = JsonValue::Kind::kNull;
+      return true;
+    }
+    char* after = nullptr;
+    const double v = std::strtod(p_, &after);
+    if (after == p_ || after > end_) return false;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = v;
+    p_ = after;
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+};
 
 }  // namespace esd::test
 
