@@ -11,6 +11,14 @@
 //                 reports read tails plus snapshot staleness (seq lag and
 //                 epoch age) while epochs hot-swap under the readers.
 //
+// With --socket <host:port> the binary instead acts as a network load
+// client against a running `esd_server --listen` (binary wire protocol),
+// sweeping connection count {1,4,16,64} x pipelining depth {1,8} and
+// reporting client-side throughput and p50/p95/p99 per point. Exits
+// nonzero if any response fails to parse or any cid comes back out of
+// order — the wire protocol's ordering guarantee is part of what this
+// mode measures.
+//
 // ESD_SCORER=esd|truss|egobw selects the diversity scorer the whole run
 // serves (default esd); every JSON line carries a "scorer" column so
 // harness scripts can compare scorers on identical workloads.
@@ -26,10 +34,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <deque>
 #include <filesystem>
 #include <future>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -37,6 +48,9 @@
 #include "core/index_builder.h"
 #include "core/scorer.h"
 #include "live/live_index.h"
+#include "net/client.h"
+#include "net/wire.h"
+#include "obs/trace.h"
 #include "serve/metrics.h"
 #include "serve/query_service.h"
 #include "util/rng.h"
@@ -358,10 +372,178 @@ bool RunLiveMixed(const esd::graph::Graph& g, const Workload& mix,
   return !writer_failed.load();
 }
 
+/// Client-side latency percentile (sorts in place; q in [0,1]).
+double Percentile(std::vector<double>* lat_us, double q) {
+  if (lat_us->empty()) return 0.0;
+  std::sort(lat_us->begin(), lat_us->end());
+  const size_t idx = std::min(
+      lat_us->size() - 1,
+      static_cast<size_t>(q * static_cast<double>(lat_us->size())));
+  return (*lat_us)[idx];
+}
+
+/// One socket-sweep point: `conns` connections, each keeping `pipeline`
+/// binary queries in flight against a running esd_server. Latency is
+/// measured client-side, send to matching response (pipelined requests
+/// therefore include their time queued behind pipeline-mates — the number
+/// a real pipelining client experiences). Any parse failure or
+/// out-of-order cid echo counts as an error.
+struct SocketPointResult {
+  double qps = 0;
+  double wall_ms = 0;
+  double p50_us = 0, p95_us = 0, p99_us = 0;
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+};
+
+SocketPointResult RunSocketPoint(const std::string& host, uint16_t port,
+                                 unsigned conns, unsigned pipeline,
+                                 uint64_t per_conn, const Workload& mix) {
+  SocketPointResult res;
+  std::mutex agg_mu;
+  std::vector<double> lat_us;
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> completed{0};
+  esd::util::Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(conns);
+  for (unsigned c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      esd::net::BlockingClient client;
+      std::string err;
+      if (!client.Connect(host, port, &err)) {
+        errors.fetch_add(1);
+        return;
+      }
+      esd::util::Rng rng(0x50C4E7 + c);
+      std::vector<double> local;
+      local.reserve(per_conn);
+      // The server answers each connection in submission order, so the
+      // send-time queue fronts pair with responses as they arrive; the
+      // echoed cid double-checks that ordering contract on every reply.
+      std::deque<std::pair<uint64_t, uint64_t>> inflight;  // cid, send_ns
+      uint64_t next_cid = 1;
+      uint64_t sent = 0;
+      uint64_t done = 0;
+      while (done < per_conn) {
+        while (sent < per_conn && inflight.size() < pipeline) {
+          const QueryRequest rq = mix.Draw(rng);
+          esd::net::QueryFrame q;
+          q.cid = next_cid++;
+          q.k = rq.k;
+          q.tau = rq.tau;
+          q.pad_with_zero_edges = 1;
+          const uint64_t t0 = esd::obs::MonotonicNanos();
+          if (!client.SendQuery(q)) {
+            errors.fetch_add(1);
+            goto conn_done;
+          }
+          inflight.emplace_back(q.cid, t0);
+          ++sent;
+        }
+        {
+          esd::net::Frame frame;
+          esd::net::QueryResultFrame result;
+          if (client.RecvFrame(&frame) != esd::net::WireStatus::kOk ||
+              frame.type != esd::net::FrameType::kQueryResult ||
+              esd::net::DecodeQueryResult(frame.payload, &result) !=
+                  esd::net::WireStatus::kOk ||
+              inflight.empty() || result.cid != inflight.front().first) {
+            errors.fetch_add(1);
+            goto conn_done;
+          }
+          const uint64_t t1 = esd::obs::MonotonicNanos();
+          local.push_back(static_cast<double>(t1 - inflight.front().second) *
+                          1e-3);
+          inflight.pop_front();
+          ++done;
+        }
+      }
+    conn_done:
+      completed.fetch_add(done);
+      std::lock_guard<std::mutex> lock(agg_mu);
+      lat_us.insert(lat_us.end(), local.begin(), local.end());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s = wall.ElapsedSeconds();
+  res.wall_ms = wall_s * 1e3;
+  res.completed = completed.load();
+  res.errors = errors.load();
+  res.qps = wall_s > 0 ? static_cast<double>(res.completed) / wall_s : 0.0;
+  res.p50_us = Percentile(&lat_us, 0.50);
+  res.p95_us = Percentile(&lat_us, 0.95);
+  res.p99_us = Percentile(&lat_us, 0.99);
+  return res;
+}
+
+int RunSocketMode(const std::string& host, uint16_t port) {
+  const double scale = esd::bench::BenchScale();
+  const Workload mix;
+  std::printf("socket client mode: target %s:%u\n", host.c_str(), port);
+  std::printf("%-16s %6s %9s %10s %10s %10s %10s %7s\n", "op", "conns",
+              "pipeline", "qps", "p50(us)", "p95(us)", "p99(us)", "errors");
+  uint64_t total_errors = 0;
+  for (const unsigned conns : {1u, 4u, 16u, 64u}) {
+    for (const unsigned pipeline : {1u, 8u}) {
+      const uint64_t per_conn = std::max<uint64_t>(
+          32, static_cast<uint64_t>(8000 * scale) / conns);
+      const SocketPointResult r =
+          RunSocketPoint(host, port, conns, pipeline, per_conn, mix);
+      total_errors += r.errors;
+      char op[40];
+      std::snprintf(op, sizeof(op), "socket-c%u-p%u", conns, pipeline);
+      std::printf("%-16s %6u %9u %10.0f %10.1f %10.1f %10.1f %7llu\n", op,
+                  conns, pipeline, r.qps, r.p50_us, r.p95_us, r.p99_us,
+                  static_cast<unsigned long long>(r.errors));
+      char line[512];
+      std::snprintf(
+          line, sizeof(line),
+          "{\"bench\":\"serve_load\",\"engine\":\"socket\",\"scorer\":\"%s\","
+          "\"dataset\":\"remote\",\"op\":\"%s\",\"wall_ms\":%.6f,"
+          "\"qps\":%.1f,\"conns\":%u,\"pipeline\":%u,\"requests\":%llu,"
+          "\"p50_us\":%.1f,\"p95_us\":%.1f,\"p99_us\":%.1f,\"errors\":%llu}",
+          std::string(g_scorer->Name()).c_str(), op, r.wall_ms, r.qps, conns,
+          pipeline, static_cast<unsigned long long>(r.completed), r.p50_us,
+          r.p95_us, r.p99_us, static_cast<unsigned long long>(r.errors));
+      esd::bench::EmitJsonLine(line);
+    }
+  }
+  if (total_errors > 0) {
+    std::fprintf(stderr,
+                 "socket mode: %llu errors (parse failures, transport "
+                 "errors, or out-of-order cids)\n",
+                 static_cast<unsigned long long>(total_errors));
+    return 1;
+  }
+  if (!esd::bench::WriteBenchArtifact("serve_load")) return 1;
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace esd;
+
+  // --socket <host:port>: act as a network load client against a running
+  // esd_server --listen instead of standing up an in-process service.
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--socket" && i + 1 < argc) {
+      const std::string target = argv[i + 1];
+      const size_t colon = target.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "usage: serve_load --socket <host:port>\n");
+        return 2;
+      }
+      const std::string host = target.substr(0, colon);
+      const int port = std::atoi(target.c_str() + colon + 1);
+      if (port <= 0 || port > 65535) {
+        std::fprintf(stderr, "bad port in --socket %s\n", target.c_str());
+        return 2;
+      }
+      return RunSocketMode(host, static_cast<uint16_t>(port));
+    }
+  }
 
   // Span collection costs real per-request work at these request rates
   // (each served request emits its stage spans into the trace ring).

@@ -28,7 +28,15 @@
 //                     FAILPOINT clearall disarms everything
 //   TRACE <path>      write collected spans as Chrome trace JSON
 //   QUIT              shut down
-// (With stdin at EOF — e.g. the smoke test — the loop exits immediately.)
+// (With stdin at EOF — e.g. the smoke test — the loop exits immediately,
+// unless --listen is active: then the server keeps serving the socket until
+// SIGINT/SIGTERM or a stdin QUIT triggers the graceful drain.)
+//
+// With --listen PORT (0 = ephemeral; the bound port is printed on the
+// "listening on" line) the same command set is served over TCP by the
+// src/net/ event loop: text mode is line-compatible with stdin (nc works),
+// binary-framed clients (net/client.h) get the length-prefixed protocol,
+// and `GET /metrics` on the same port answers a Prometheus scrape.
 //
 // With --live-dir the server runs on a LiveEsdIndex: updates are logged to
 // <dir>/wal.bin, folded into the writer index, and published to readers as
@@ -51,12 +59,16 @@
 //   build/examples/esd_server --dataset pokec-s --requests 2000
 //   build/examples/esd_server --dataset dblp-s --live-dir /tmp/esd_live
 
+#include <atomic>
+#include <csignal>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <future>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -74,6 +86,7 @@
 #include "graph/io.h"
 #include "live/live_index.h"
 #include "live/wal.h"
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "obs/request_context.h"
 #include "obs/timeseries.h"
@@ -96,8 +109,48 @@ void Usage() {
                "                  [--load-index P] [--cache-bytes B]\n"
                "                  [--live-dir DIR] [--refreeze-every N]\n"
                "                  [--slowlog N] [--history-interval-ms M]\n"
-               "                  [--history-samples S]\n",
+               "                  [--history-samples S]\n"
+               "                  [--listen PORT] [--bind ADDR]\n"
+               "                  [--force-poll] [--drain-timeout-ms D]\n",
                esd::kVersionString);
+}
+
+/// printf into a growing string — the command executor produces its output
+/// as a string so one implementation serves both stdin and socket clients.
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void AppendF(std::string* out, const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  char stack_buf[512];
+  const int n = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, ap);
+  va_end(ap);
+  if (n < 0) {
+    va_end(ap2);
+    return;
+  }
+  if (n < static_cast<int>(sizeof(stack_buf))) {
+    out->append(stack_buf, static_cast<size_t>(n));
+  } else {
+    std::string big(static_cast<size_t>(n) + 1, '\0');
+    std::vsnprintf(big.data(), big.size(), fmt, ap2);
+    big.resize(static_cast<size_t>(n));
+    out->append(big);
+  }
+  va_end(ap2);
+}
+
+/// The active listener, for the SIGINT/SIGTERM handler. RequestShutdown is
+/// one atomic store plus one pipe write — async-signal-safe — and the main
+/// thread does the actual teardown after Join() returns.
+std::atomic<esd::net::NetServer*> g_net_server{nullptr};
+
+void HandleShutdownSignal(int) {
+  esd::net::NetServer* server = g_net_server.load();
+  if (server != nullptr) server->RequestShutdown();
 }
 
 const char* StatusName(esd::serve::ResponseStatus s) {
@@ -132,6 +185,11 @@ int main(int argc, char** argv) {
   size_t slowlog_capacity = 32;
   uint64_t history_interval_ms = 1000;  // 0 = no background sampler
   size_t history_samples = 120;
+  bool listen = false;   // --listen PORT: start the TCP front end
+  int listen_port = 0;   // 0 = kernel-assigned ephemeral port
+  std::string bind_address = "127.0.0.1";
+  bool force_poll = false;
+  uint64_t drain_timeout_ms = 5000;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -175,6 +233,15 @@ int main(int argc, char** argv) {
       history_interval_ms = static_cast<uint64_t>(std::atoll(next()));
     } else if (arg == "--history-samples") {
       history_samples = static_cast<size_t>(std::atoll(next()));
+    } else if (arg == "--listen") {
+      listen = true;
+      listen_port = std::atoi(next());
+    } else if (arg == "--bind") {
+      bind_address = next();
+    } else if (arg == "--force-poll") {
+      force_poll = true;
+    } else if (arg == "--drain-timeout-ms") {
+      drain_timeout_ms = static_cast<uint64_t>(std::atoll(next()));
     } else {
       Usage();
       return 2;
@@ -404,127 +471,177 @@ int main(int argc, char** argv) {
                                   : engine->MemoryBytes()),
               serve::MetricsJsonFields(snap).c_str());
 
-  // Command loop. The burst above left the service running so QUERY still
-  // goes through the real queue/batch path.
-  std::string line;
-  while (std::getline(std::cin, line)) {
+  // ---- Command executor -------------------------------------------------
+  // One implementation serves both front ends: the stdin loop below and the
+  // socket text mode (NetServer's CommandFn). Output goes into a string so
+  // the caller decides where it lands (stdout or a connection's outbox).
+  // Commands are rare and cheap; one mutex serializes the two front ends.
+  std::mutex command_mu;
+
+  // Prometheus exposition for the HTTP GET /metrics scrape path,
+  // "# EOF"-terminated like the METRICS command so both pass
+  // scripts/metrics_lint.sh unchanged.
+  auto metrics_text = [&]() -> std::string {
+    std::lock_guard<std::mutex> lock(command_mu);
+    obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+    if (live != nullptr) {
+      live->ExportMetrics();
+      core::ExportEngineCounters(*live->CurrentEngine(), &registry);
+    } else {
+      core::ExportEngineCounters(*engine, &registry);
+    }
+    // The combined (service + live) health beats the live-only view
+    // ExportMetrics just wrote.
+    obs::ExportHealth(registry, service.Health());
+    return registry.PrometheusText() + "# EOF\n";
+  };
+
+  // Renders one query response exactly as the stdin loop always printed it,
+  // so text-mode socket clients (smoke scripts over nc) see identical bytes.
+  auto format_query_text = [](const serve::QueryResponse& resp) {
+    std::string out;
+    AppendF(&out, "OK %s %zu edges, queue %.1f us, exec %.1f us\n",
+            StatusName(resp.status), resp.result.size(), resp.queue_us,
+            resp.exec_us);
+    // The request-scoped attribution: where this specific query's time
+    // went, plus its id (grep the rid in TRACE output), cache outcome,
+    // and serving epoch.
+    AppendF(&out, "  rid=%llu epoch=%llu cache=%s stages[us]:",
+            static_cast<unsigned long long>(resp.ctx.request_id),
+            static_cast<unsigned long long>(resp.ctx.epoch),
+            obs::CacheOutcomeName(resp.ctx.cache));
+    for (size_t s = 0; s < obs::kNumStages; ++s) {
+      AppendF(&out, " %s=%.1f", obs::StageName(static_cast<obs::Stage>(s)),
+              resp.ctx.StageMicros(static_cast<obs::Stage>(s)));
+    }
+    AppendF(&out, "\n");
+    for (size_t i = 0; i < resp.result.size(); ++i) {
+      AppendF(&out, "  %zu (%u,%u) %u\n", i + 1, resp.result[i].edge.u,
+              resp.result[i].edge.v, resp.result[i].score);
+    }
+    return out;
+  };
+
+  // Returns false to end the session (QUIT/EXIT): the stdin loop breaks,
+  // a socket connection closes after the reply flushes.
+  auto execute_command = [&](const std::string& line, std::string* out) {
     std::istringstream in(line);
     std::string cmd;
     in >> cmd;
-    if (cmd.empty()) continue;
-    if (cmd == "QUIT" || cmd == "EXIT") {
-      break;
-    } else if (cmd == "QUERY") {
+    if (cmd.empty()) return true;
+    if (cmd == "QUIT" || cmd == "EXIT") return false;
+    if (cmd == "QUERY") {
+      // Stdin path only: the socket front end intercepts QUERY lines and
+      // submits them through the async admission path instead.
       serve::QueryRequest rq;
       if (!(in >> rq.k >> rq.tau)) {
-        std::printf("ERR usage: QUERY <k> <tau>\n");
-        continue;
+        AppendF(out, "ERR usage: QUERY <k> <tau>\n");
+        return true;
       }
       rq.deadline_us = deadline_us;
       const serve::QueryResponse resp = service.Query(rq);
-      std::printf("OK %s %zu edges, queue %.1f us, exec %.1f us\n",
-                  StatusName(resp.status), resp.result.size(), resp.queue_us,
-                  resp.exec_us);
-      // The request-scoped attribution: where this specific query's time
-      // went, plus its id (grep the rid in TRACE output), cache outcome,
-      // and serving epoch.
-      std::printf("  rid=%llu epoch=%llu cache=%s stages[us]:",
-                  static_cast<unsigned long long>(resp.ctx.request_id),
-                  static_cast<unsigned long long>(resp.ctx.epoch),
-                  obs::CacheOutcomeName(resp.ctx.cache));
-      for (size_t s = 0; s < obs::kNumStages; ++s) {
-        std::printf(" %s=%.1f", obs::StageName(static_cast<obs::Stage>(s)),
-                    resp.ctx.StageMicros(static_cast<obs::Stage>(s)));
-      }
-      std::printf("\n");
-      for (size_t i = 0; i < resp.result.size(); ++i) {
-        std::printf("  %zu (%u,%u) %u\n", i + 1, resp.result[i].edge.u,
-                    resp.result[i].edge.v, resp.result[i].score);
-      }
-    } else if (cmd == "INSERT" || cmd == "DELETE") {
+      *out += format_query_text(resp);
+      return true;
+    }
+    std::lock_guard<std::mutex> lock(command_mu);
+    if (cmd == "INSERT" || cmd == "DELETE") {
       if (live == nullptr) {
-        std::printf("ERR updates need --live-dir\n");
-        continue;
+        AppendF(out, "ERR updates need --live-dir\n");
+        return true;
       }
       live::LiveUpdate update;
       update.kind = cmd == "INSERT" ? live::UpdateKind::kInsert
                                     : live::UpdateKind::kDelete;
       if (!(in >> update.u >> update.v)) {
-        std::printf("ERR usage: %s <u> <v>\n", cmd.c_str());
-        continue;
+        AppendF(out, "ERR usage: %s <u> <v>\n", cmd.c_str());
+        return true;
       }
       const live::ApplyResult result = live->ApplyTyped(update);
       if (result.status == live::ApplyStatus::kOk && result.processed == 1) {
         const live::LiveStats s = live->Stats();
-        std::printf("OK seq=%llu wal_bytes=%llu epoch=%llu\n",
-                    static_cast<unsigned long long>(s.applied_seq),
-                    static_cast<unsigned long long>(s.wal_bytes),
-                    static_cast<unsigned long long>(s.snapshot_epoch));
+        AppendF(out, "OK seq=%llu wal_bytes=%llu epoch=%llu\n",
+                static_cast<unsigned long long>(s.applied_seq),
+                static_cast<unsigned long long>(s.wal_bytes),
+                static_cast<unsigned long long>(s.snapshot_epoch));
       } else {
         // Typed rejection: scripts match on the status token (wal-error,
         // degraded, bounds) without parsing the prose.
-        std::printf("ERR %s %s\n", live::ApplyStatusName(result.status),
-                    result.message.c_str());
+        AppendF(out, "ERR %s %s\n", live::ApplyStatusName(result.status),
+                result.message.c_str());
       }
     } else if (cmd == "CHECKPOINT") {
       if (live == nullptr) {
-        std::printf("ERR checkpoint needs --live-dir\n");
-        continue;
+        AppendF(out, "ERR checkpoint needs --live-dir\n");
+        return true;
       }
       std::string error;
       if (live->Checkpoint(&error)) {
         const live::LiveStats s = live->Stats();
-        std::printf("OK seq=%llu wal_bytes=%llu epoch=%llu\n",
-                    static_cast<unsigned long long>(s.applied_seq),
-                    static_cast<unsigned long long>(s.wal_bytes),
-                    static_cast<unsigned long long>(s.snapshot_epoch));
+        AppendF(out, "OK seq=%llu wal_bytes=%llu epoch=%llu\n",
+                static_cast<unsigned long long>(s.applied_seq),
+                static_cast<unsigned long long>(s.wal_bytes),
+                static_cast<unsigned long long>(s.snapshot_epoch));
       } else {
-        std::printf("ERR %s\n", error.c_str());
+        AppendF(out, "ERR %s\n", error.c_str());
       }
     } else if (cmd == "STATS") {
       const serve::MetricsSnapshot s = service.metrics().Snap();
-      std::printf("OK accepted=%llu completed=%llu rejected=%llu "
-                  "deadline_missed=%llu batches=%llu queue_depth=%llu "
-                  "p50_us=%.1f p95_us=%.1f p99_us=%.1f",
-                  static_cast<unsigned long long>(s.accepted),
-                  static_cast<unsigned long long>(s.completed),
-                  static_cast<unsigned long long>(s.rejected),
-                  static_cast<unsigned long long>(s.deadline_missed),
-                  static_cast<unsigned long long>(s.batches),
-                  static_cast<unsigned long long>(s.queue_depth),
-                  s.total.p50_us, s.total.p95_us, s.total.p99_us);
+      AppendF(out,
+              "OK accepted=%llu completed=%llu rejected=%llu "
+              "deadline_missed=%llu batches=%llu queue_depth=%llu "
+              "p50_us=%.1f p95_us=%.1f p99_us=%.1f",
+              static_cast<unsigned long long>(s.accepted),
+              static_cast<unsigned long long>(s.completed),
+              static_cast<unsigned long long>(s.rejected),
+              static_cast<unsigned long long>(s.deadline_missed),
+              static_cast<unsigned long long>(s.batches),
+              static_cast<unsigned long long>(s.queue_depth),
+              s.total.p50_us, s.total.p95_us, s.total.p99_us);
       if (live != nullptr) {
         const live::LiveStats ls = live->Stats();
-        std::printf(" live_seq=%llu live_epoch=%llu live_lag=%llu "
-                    "live_age_s=%.3f wal_bytes=%llu checkpoints=%llu "
-                    "wal_retries=%llu wal_failures=%llu "
-                    "degraded_rejections=%llu heals=%llu breaker_open=%d",
-                    static_cast<unsigned long long>(ls.applied_seq),
-                    static_cast<unsigned long long>(ls.snapshot_epoch),
-                    static_cast<unsigned long long>(ls.snapshot_lag),
-                    ls.snapshot_age_s,
-                    static_cast<unsigned long long>(ls.wal_bytes),
-                    static_cast<unsigned long long>(ls.checkpoints),
-                    static_cast<unsigned long long>(ls.wal_retries),
-                    static_cast<unsigned long long>(ls.wal_append_failures),
-                    static_cast<unsigned long long>(ls.degraded_rejections),
-                    static_cast<unsigned long long>(ls.heals),
-                    ls.breaker_open ? 1 : 0);
+        AppendF(out,
+                " live_seq=%llu live_epoch=%llu live_lag=%llu "
+                "live_age_s=%.3f wal_bytes=%llu checkpoints=%llu "
+                "wal_retries=%llu wal_failures=%llu "
+                "degraded_rejections=%llu heals=%llu breaker_open=%d",
+                static_cast<unsigned long long>(ls.applied_seq),
+                static_cast<unsigned long long>(ls.snapshot_epoch),
+                static_cast<unsigned long long>(ls.snapshot_lag),
+                ls.snapshot_age_s,
+                static_cast<unsigned long long>(ls.wal_bytes),
+                static_cast<unsigned long long>(ls.checkpoints),
+                static_cast<unsigned long long>(ls.wal_retries),
+                static_cast<unsigned long long>(ls.wal_append_failures),
+                static_cast<unsigned long long>(ls.degraded_rejections),
+                static_cast<unsigned long long>(ls.heals),
+                ls.breaker_open ? 1 : 0);
       }
       if (service.cache() != nullptr) {
         const serve::ResultCache::Stats cs = service.cache()->Snap();
-        std::printf(" cache_hits=%llu cache_misses=%llu cache_hit_rate=%.3f "
-                    "cache_entries=%zu cache_bytes=%llu cache_epoch=%llu "
-                    "cache_evictions=%llu",
-                    static_cast<unsigned long long>(cs.hits),
-                    static_cast<unsigned long long>(cs.misses), cs.hit_rate,
-                    cs.entries, static_cast<unsigned long long>(cs.bytes),
-                    static_cast<unsigned long long>(cs.epoch),
-                    static_cast<unsigned long long>(cs.evictions));
+        AppendF(out,
+                " cache_hits=%llu cache_misses=%llu cache_hit_rate=%.3f "
+                "cache_entries=%zu cache_bytes=%llu cache_epoch=%llu "
+                "cache_evictions=%llu",
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.misses), cs.hit_rate,
+                cs.entries, static_cast<unsigned long long>(cs.bytes),
+                static_cast<unsigned long long>(cs.epoch),
+                static_cast<unsigned long long>(cs.evictions));
       }
-      std::printf(" scorer=%s", std::string(scorer->Name()).c_str());
-      std::printf(" health=%s", obs::HealthStateName(service.Health()));
-      std::printf("\n");
+      if (g_net_server.load() != nullptr) {
+        const net::NetServer::Stats ns = g_net_server.load()->SnapStats();
+        AppendF(out,
+                " net_accepts=%llu net_open=%llu net_inflight=%llu "
+                "net_parse_errors=%llu net_backpressure_closes=%llu",
+                static_cast<unsigned long long>(ns.accepts),
+                static_cast<unsigned long long>(ns.open_connections),
+                static_cast<unsigned long long>(ns.inflight),
+                static_cast<unsigned long long>(ns.parse_errors),
+                static_cast<unsigned long long>(ns.backpressure_closes));
+      }
+      AppendF(out, " scorer=%s", std::string(scorer->Name()).c_str());
+      AppendF(out, " health=%s", obs::HealthStateName(service.Health()));
+      AppendF(out, "\n");
     } else if (cmd == "METRICS") {
       obs::MetricRegistry& registry = obs::MetricRegistry::Global();
       if (live != nullptr) {
@@ -536,20 +653,21 @@ int main(int argc, char** argv) {
       // The combined (service + live) health beats the live-only view
       // ExportMetrics just wrote.
       obs::ExportHealth(registry, service.Health());
-      std::fputs(registry.PrometheusText().c_str(), stdout);
-      std::printf("# EOF\n");
+      *out += registry.PrometheusText();
+      AppendF(out, "# EOF\n");
     } else if (cmd == "SLOWLOG") {
       size_t n = 0;  // 0 = everything retained
       in >> n;
       const serve::SlowQueryLog& slowlog = service.slow_log();
       const std::vector<std::string> lines = slowlog.JsonLines(n);
-      std::printf("OK slowlog %zu entries (capacity %zu, window %llds, "
-                  "%llu requests considered)\n",
-                  lines.size(), slowlog.capacity(),
-                  static_cast<long long>(slowlog.window().count()),
-                  static_cast<unsigned long long>(slowlog.recorded()));
+      AppendF(out,
+              "OK slowlog %zu entries (capacity %zu, window %llds, "
+              "%llu requests considered)\n",
+              lines.size(), slowlog.capacity(),
+              static_cast<long long>(slowlog.window().count()),
+              static_cast<unsigned long long>(slowlog.recorded()));
       for (const std::string& entry : lines) {
-        std::printf("%s\n", entry.c_str());
+        AppendF(out, "%s\n", entry.c_str());
       }
     } else if (cmd == "HISTORY") {
       std::string what;
@@ -559,68 +677,153 @@ int main(int argc, char** argv) {
       // always >= 2 samples to diff.
       history.SampleNow();
       if (what == "PROM") {
-        std::fputs(history.RatesPrometheus().c_str(), stdout);
-        std::printf("# EOF\n");
+        *out += history.RatesPrometheus();
+        AppendF(out, "# EOF\n");
       } else {
         const size_t n =
             what.empty() ? 10 : static_cast<size_t>(std::atoll(what.c_str()));
         const std::vector<std::string> lines =
             history.IntervalsJson(n == 0 ? 10 : n);
-        std::printf("OK history %zu intervals (ring %zu/%zu, interval "
-                    "%llu ms)\n",
-                    lines.size(), history.NumSamples(), history.capacity(),
-                    static_cast<unsigned long long>(history_interval_ms));
+        AppendF(out,
+                "OK history %zu intervals (ring %zu/%zu, interval "
+                "%llu ms)\n",
+                lines.size(), history.NumSamples(), history.capacity(),
+                static_cast<unsigned long long>(history_interval_ms));
         for (const std::string& interval : lines) {
-          std::printf("%s\n", interval.c_str());
+          AppendF(out, "%s\n", interval.c_str());
         }
       }
     } else if (cmd == "FAILPOINT") {
       std::string name, spec;
       in >> name >> spec;
       if (name.empty()) {
-        std::printf("ERR usage: FAILPOINT <name> <spec> | FAILPOINT "
-                    "clearall\n");
-        continue;
+        AppendF(out, "ERR usage: FAILPOINT <name> <spec> | FAILPOINT "
+                     "clearall\n");
+        return true;
       }
       if (name == "clearall") {
         fault::FailPointRegistry::Global().ClearAll();
-        std::printf("OK fail points cleared\n");
-        continue;
+        AppendF(out, "OK fail points cleared\n");
+        return true;
       }
       if (spec.empty()) {
-        std::printf("ERR usage: FAILPOINT <name> <spec>\n");
-        continue;
+        AppendF(out, "ERR usage: FAILPOINT <name> <spec>\n");
+        return true;
       }
       std::string error;
       if (!fault::FailPointRegistry::Global().Set(name, spec, &error)) {
-        std::printf("ERR %s\n", error.c_str());
-        continue;
+        AppendF(out, "ERR %s\n", error.c_str());
+        return true;
       }
-      std::printf("OK %s=%s%s\n", name.c_str(), spec.c_str(),
-                  fault::kFailPointsCompiledIn
-                      ? ""
-                      : " (sites compiled out: ESD_FAULT=OFF, no effect)");
+      AppendF(out, "OK %s=%s%s\n", name.c_str(), spec.c_str(),
+              fault::kFailPointsCompiledIn
+                  ? ""
+                  : " (sites compiled out: ESD_FAULT=OFF, no effect)");
     } else if (cmd == "TRACE") {
       std::string path;
       if (!(in >> path)) {
-        std::printf("ERR usage: TRACE <path>\n");
-        continue;
+        AppendF(out, "ERR usage: TRACE <path>\n");
+        return true;
       }
       std::string error;
       if (obs::Tracer::Global().WriteChromeTrace(path, &error)) {
-        std::printf("OK trace written to %s\n", path.c_str());
+        AppendF(out, "OK trace written to %s\n", path.c_str());
       } else {
-        std::printf("ERR %s\n", error.c_str());
+        AppendF(out, "ERR %s\n", error.c_str());
       }
     } else {
-      std::printf("ERR unknown command (QUERY/INSERT/DELETE/CHECKPOINT/"
-                  "STATS/METRICS/SLOWLOG/HISTORY/FAILPOINT/TRACE/QUIT)\n");
+      AppendF(out, "ERR unknown command (QUERY/INSERT/DELETE/CHECKPOINT/"
+                   "STATS/METRICS/SLOWLOG/HISTORY/FAILPOINT/TRACE/QUIT)\n");
     }
+    return true;
+  };
+
+  // ---- Network front end (--listen) --------------------------------------
+  std::unique_ptr<net::NetServer> net_server;
+  if (listen) {
+    net::NetServer::Options nopts;
+    nopts.bind_address = bind_address;
+    nopts.port = static_cast<uint16_t>(listen_port);
+    nopts.force_poll = force_poll;
+    nopts.drain_timeout = std::chrono::milliseconds(drain_timeout_ms);
+    nopts.registry = &obs::MetricRegistry::Global();
+    net::NetServer::Handlers handlers;
+    handlers.submit = [&service, deadline_us](
+                          const serve::QueryRequest& rq,
+                          std::function<void(serve::QueryResponse)> done) {
+      serve::QueryRequest r = rq;
+      // Text-mode queries carry no deadline of their own: the server's
+      // --deadline-us default applies, same as the stdin loop.
+      if (r.deadline_us == 0) r.deadline_us = deadline_us;
+      service.SubmitAsync(r, std::move(done));
+    };
+    handlers.command = execute_command;
+    handlers.format_query = format_query_text;
+    handlers.metrics_text = metrics_text;
+    net_server =
+        std::make_unique<net::NetServer>(std::move(handlers), nopts);
+    std::string error;
+    if (!net_server->Start(&error)) {
+      std::fprintf(stderr, "error: listen failed: %s\n", error.c_str());
+      return 1;
+    }
+    g_net_server.store(net_server.get());
+    // SIGINT/SIGTERM trigger the graceful drain (stop accepting, serve
+    // in-flight queries, flush outboxes, then exit).
+    struct sigaction sa {};
+    sa.sa_handler = HandleShutdownSignal;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    // Readiness line: smoke scripts parse the port off it.
+    std::printf("listening on %s:%u (%s backend)\n", bind_address.c_str(),
+                net_server->port(), net_server->backend_name());
+    std::fflush(stdout);
+  }
+
+  // ---- Stdin command loop -------------------------------------------------
+  // With a listener active, stdin EOF no longer tears the process down (an
+  // operator backgrounding the server closes stdin immediately); only an
+  // explicit stdin QUIT or a shutdown signal does.
+  bool stdin_quit = false;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::string out;
+    const bool keep_going = execute_command(line, &out);
+    std::fputs(out.c_str(), stdout);
+    std::fflush(stdout);
+    if (!keep_going) {
+      stdin_quit = true;
+      break;
+    }
+  }
+
+  if (net_server != nullptr) {
+    if (stdin_quit) {
+      // Stdin QUIT shuts the whole server down, gracefully.
+      net_server->RequestShutdown();
+    }
+    // Serve until the drain (signal or QUIT) completes.
+    net_server->Join();
+    g_net_server.store(nullptr);
+    // Shutdown waits for the last in-flight completion, so the stats
+    // below are final (inflight provably zero after a clean drain).
+    net_server->Shutdown();
+    const net::NetServer::Stats ns = net_server->SnapStats();
+    // The drain line is the smoke tests' proof of graceful shutdown: every
+    // accepted connection was closed and nothing was left in flight.
+    std::printf("net: drained (accepts=%llu closed=%llu inflight=%llu "
+                "parse_errors=%llu backpressure_closes=%llu)\n",
+                static_cast<unsigned long long>(ns.accepts),
+                static_cast<unsigned long long>(ns.closed),
+                static_cast<unsigned long long>(ns.inflight),
+                static_cast<unsigned long long>(ns.parse_errors),
+                static_cast<unsigned long long>(ns.backpressure_closes));
     std::fflush(stdout);
   }
 
   // The history sampler references the service and live index through its
-  // pre-sample hook: stop it before either can die.
+  // pre-sample hook: stop it before either can die. The net server is
+  // already down, so no socket command can race the teardown below.
   history.Stop();
   // The background refreeze pool outlives the service object below: drop
   // the epoch listener first so no publish fires into a dead service.

@@ -9,15 +9,24 @@
 #     quantile samples) carried a # TYPE.
 #
 # Usage: metrics_lint.sh <esd_server-binary>
+#        metrics_lint.sh --file <exposition-file>
+#
+# --file lints an already-captured exposition (e.g. the body of an HTTP
+# GET /metrics scrape from the socket front end) instead of booting a
+# server itself.
 set -eu
 
-SERVER="$1"
 OUT="$(mktemp)"
 trap 'rm -f "$OUT"' EXIT
 
-printf 'METRICS\nQUIT\n' | \
-  "$SERVER" --dataset youtube-s --scale 0.1 --requests 200 --clients 2 \
-            --threads 2 > "$OUT"
+if [ "$1" = "--file" ]; then
+  cat "$2" > "$OUT"
+else
+  SERVER="$1"
+  printf 'METRICS\nQUIT\n' | \
+    "$SERVER" --dataset youtube-s --scale 0.1 --requests 200 --clients 2 \
+              --threads 2 > "$OUT"
+fi
 
 # The exposition is the block from the first # HELP through # EOF; the
 # burst preamble before it is not exposition text.

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Socket smoke test: boot `esd_server --listen`, then drive it over real TCP
+# connections the way the stdin smokes drive the pipe:
+#   * text mode QUERY/STATS over the socket answer in the stdin dialect
+#     (per-request telemetry line, net_* counters in STATS),
+#   * GET /metrics on the same port serves a Prometheus exposition that
+#     passes scripts/metrics_lint.sh unchanged,
+#   * stdin EOF does NOT tear the server down while the listener is live
+#     (stdin is closed before the first connection is made),
+#   * SIGTERM triggers the graceful drain: the process exits zero and the
+#     drain line proves every accepted connection was closed with nothing
+#     left in flight and zero parse errors.
+#
+# Bash (not sh) for /dev/tcp: the CI runners and the dev container have no
+# netcat, and /dev/tcp needs no extra binary.
+#
+# usage: socket_smoke.sh <esd_server> <metrics_lint.sh> [workdir]
+set -eu
+
+SERVER=${1:?usage: socket_smoke.sh <esd_server> <metrics_lint.sh> [workdir]}
+LINT=${2:?usage: socket_smoke.sh <esd_server> <metrics_lint.sh> [workdir]}
+DIR=${3:-$(mktemp -d)}
+mkdir -p "$DIR"
+LOG="$DIR/server.log"
+SERVER_PID=
+
+fail() {
+  echo "FAIL: $1" >&2
+  cat "$LOG" >&2 || true
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+  exit 1
+}
+
+# Stdin closed from the start (< /dev/null): the EOF must not stop the
+# server while --listen is active, or everything below fails to connect.
+"$SERVER" --dataset youtube-s --scale 0.1 --requests 100 --clients 2 \
+  --threads 2 --listen 0 < /dev/null > "$LOG" 2>&1 &
+SERVER_PID=$!
+
+# The readiness line carries the kernel-assigned port.
+PORT=
+for _ in $(seq 1 100); do
+  PORT=$(sed -n 's/^listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$LOG")
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited before listening"
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "no 'listening on' readiness line"
+
+# Text mode: the stdin dialect over TCP. QUIT closes this connection (the
+# server keeps serving), so cat sees EOF and the session self-terminates.
+TEXT="$DIR/text.out"
+exec 3<>"/dev/tcp/127.0.0.1/$PORT" || fail "text connect failed"
+printf 'QUERY 5 3\nSTATS\nQUIT\n' >&3
+timeout 10 cat <&3 > "$TEXT" || fail "text session timed out"
+exec 3<&- 3>&-
+grep -q 'OK ok [0-9]* edges' "$TEXT" || fail "socket QUERY did not answer"
+grep -q 'rid=' "$TEXT" || fail "socket QUERY lost its telemetry line"
+grep -q 'net_accepts=' "$TEXT" || fail "socket STATS missing net counters"
+grep -q 'health=' "$TEXT" || fail "socket STATS missing health"
+
+# HTTP scrape on the same port: strip the response head, lint the body as
+# a Prometheus exposition (same checks the METRICS pipe output gets).
+SCRAPE="$DIR/scrape.out"
+exec 3<>"/dev/tcp/127.0.0.1/$PORT" || fail "scrape connect failed"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+timeout 10 cat <&3 > "$SCRAPE" || fail "scrape timed out"
+exec 3<&- 3>&-
+grep -q '^HTTP/1.0 200 OK' "$SCRAPE" || fail "scrape was not a 200"
+BODY="$DIR/exposition.txt"
+sed '1,/^\r\{0,1\}$/d' "$SCRAPE" > "$BODY"
+grep -q 'esd_net_accepts_total' "$BODY" || fail "scrape missing esd_net_*"
+"$LINT" --file "$BODY" || fail "metrics lint rejected the scrape body"
+
+# Graceful drain: SIGTERM, the process exits zero on its own, and the
+# drain line accounts for every connection with zero parse errors.
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exited non-zero after SIGTERM"
+grep -q 'net: drained' "$LOG" || fail "no drain line after SIGTERM"
+DRAIN=$(grep 'net: drained' "$LOG")
+case "$DRAIN" in
+  *"inflight=0"*) ;;
+  *) fail "drain left requests in flight: $DRAIN" ;;
+esac
+case "$DRAIN" in
+  *"parse_errors=0"*) ;;
+  *) fail "drain counted parse errors: $DRAIN" ;;
+esac
+
+echo "PASS: socket smoke (text dialect, lintable scrape, graceful drain)"

@@ -27,6 +27,11 @@ constexpr ErrnoName kErrnoNames[] = {
     {"EINTR", EINTR},   {"EACCES", EACCES}, {"EAGAIN", EAGAIN},
     {"EMFILE", EMFILE}, {"ENOMEM", ENOMEM}, {"EDQUOT", EDQUOT},
     {"EROFS", EROFS},   {"EBADF", EBADF},   {"ENODEV", ENODEV},
+    // Network IO sites (net.read / net.write / net.accept).
+    {"ECONNRESET", ECONNRESET},
+    {"ECONNREFUSED", ECONNREFUSED},
+    {"EPIPE", EPIPE},
+    {"ETIMEDOUT", ETIMEDOUT},
 };
 
 bool ParseErrno(std::string_view text, int* code) {

@@ -1,0 +1,82 @@
+#include "net/client.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace esd::net {
+
+bool BlockingClient::Connect(const std::string& host, uint16_t port,
+                             std::string* error) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad address: " + host;
+    Close();
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    Close();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  decoder_ = FrameDecoder();
+}
+
+bool BlockingClient::SendRaw(std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+WireStatus BlockingClient::RecvFrame(Frame* out) {
+  while (true) {
+    const WireStatus status = decoder_.Next(out);
+    if (status != WireStatus::kNeedMore) return status;
+    char buf[64 * 1024];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return WireStatus::kNeedMore;  // transport error mid-frame
+    }
+    if (n == 0) return WireStatus::kNeedMore;  // peer closed mid-frame
+    decoder_.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+bool BlockingClient::Query(const QueryFrame& q, QueryResultFrame* out) {
+  if (!SendQuery(q)) return false;
+  Frame frame;
+  if (RecvFrame(&frame) != WireStatus::kOk) return false;
+  if (frame.type != FrameType::kQueryResult) return false;
+  return DecodeQueryResult(frame.payload, out) == WireStatus::kOk;
+}
+
+}  // namespace esd::net

@@ -1,0 +1,54 @@
+#ifndef ESD_NET_CLIENT_H_
+#define ESD_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/wire.h"
+
+namespace esd::net {
+
+/// Minimal blocking client for the binary wire protocol — the test and
+/// bench counterpart of NetServer (the server itself never blocks). One
+/// instance is one TCP connection; not thread-safe.
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient() { Close(); }
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+  BlockingClient(BlockingClient&& other) noexcept
+      : fd_(other.fd_), decoder_(std::move(other.decoder_)) {
+    other.fd_ = -1;
+  }
+
+  /// Connects to host:port. False with *error set on failure.
+  bool Connect(const std::string& host, uint16_t port, std::string* error);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes raw bytes (a pre-encoded frame, or hostile garbage in tests).
+  bool SendRaw(std::string_view bytes);
+
+  bool SendQuery(const QueryFrame& q) { return SendRaw(EncodeQuery(q)); }
+  bool SendPing() { return SendRaw(EncodeFrame(FrameType::kPing, "")); }
+
+  /// Blocks until one complete frame arrives (or the peer closes / a
+  /// protocol error occurs). kOk fills *out.
+  WireStatus RecvFrame(Frame* out);
+
+  /// SendQuery + RecvFrame + DecodeQueryResult in one call. False on any
+  /// transport or protocol failure.
+  bool Query(const QueryFrame& q, QueryResultFrame* out);
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace esd::net
+
+#endif  // ESD_NET_CLIENT_H_

@@ -1,0 +1,144 @@
+#include "net/poller.h"
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+
+#include <poll.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+namespace esd::net {
+
+namespace {
+
+/// Portable backend: poll(2) over a registration map rebuilt into a flat
+/// pollfd array per Wait. O(n) per wait, which is fine for the connection
+/// counts a fallback path serves; the epoll backend is the scale path.
+class PollPoller final : public Poller {
+ public:
+  bool Add(int fd, bool want_read, bool want_write) override {
+    return fds_.emplace(fd, Interest{want_read, want_write}).second;
+  }
+
+  bool Update(int fd, bool want_read, bool want_write) override {
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) return false;
+    it->second = Interest{want_read, want_write};
+    return true;
+  }
+
+  void Remove(int fd) override { fds_.erase(fd); }
+
+  int Wait(std::vector<Event>* out, int timeout_ms) override {
+    out->clear();
+    pollfds_.clear();
+    pollfds_.reserve(fds_.size());
+    for (const auto& [fd, interest] : fds_) {
+      short events = 0;
+      if (interest.read) events |= POLLIN;
+      if (interest.write) events |= POLLOUT;
+      pollfds_.push_back(pollfd{fd, events, 0});
+    }
+    const int n = ::poll(pollfds_.data(),
+                         static_cast<nfds_t>(pollfds_.size()), timeout_ms);
+    if (n < 0) return errno == EINTR ? 0 : -1;
+    for (const pollfd& p : pollfds_) {
+      if (p.revents == 0) continue;
+      Event ev;
+      ev.fd = p.fd;
+      ev.readable = (p.revents & POLLIN) != 0;
+      ev.writable = (p.revents & POLLOUT) != 0;
+      ev.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      out->push_back(ev);
+    }
+    return static_cast<int>(out->size());
+  }
+
+  const char* backend_name() const override { return "poll"; }
+
+ private:
+  struct Interest {
+    bool read = false;
+    bool write = false;
+  };
+  std::map<int, Interest> fds_;
+  std::vector<pollfd> pollfds_;
+};
+
+#if defined(__linux__)
+
+class EpollPoller final : public Poller {
+ public:
+  explicit EpollPoller(int epfd) : epfd_(epfd) {}
+  ~EpollPoller() override { ::close(epfd_); }
+
+  bool Add(int fd, bool want_read, bool want_write) override {
+    epoll_event ev = Make(fd, want_read, want_write);
+    return ::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+  }
+
+  bool Update(int fd, bool want_read, bool want_write) override {
+    epoll_event ev = Make(fd, want_read, want_write);
+    return ::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) == 0;
+  }
+
+  void Remove(int fd) override {
+    epoll_event ev{};  // ignored since 2.6.9, required by older kernels
+    ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &ev);
+  }
+
+  int Wait(std::vector<Event>* out, int timeout_ms) override {
+    out->clear();
+    epoll_event events[128];
+    const int n = ::epoll_wait(epfd_, events, 128, timeout_ms);
+    if (n < 0) return errno == EINTR ? 0 : -1;
+    out->reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Event ev;
+      ev.fd = events[i].data.fd;
+      ev.readable = (events[i].events & EPOLLIN) != 0;
+      ev.writable = (events[i].events & EPOLLOUT) != 0;
+      ev.error = (events[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      out->push_back(ev);
+    }
+    return n;
+  }
+
+  const char* backend_name() const override { return "epoll"; }
+
+ private:
+  static epoll_event Make(int fd, bool want_read, bool want_write) {
+    epoll_event ev{};
+    if (want_read) ev.events |= EPOLLIN;
+    if (want_write) ev.events |= EPOLLOUT;
+    ev.data.fd = fd;
+    return ev;
+  }
+
+  int epfd_;
+};
+
+#endif  // __linux__
+
+}  // namespace
+
+std::unique_ptr<Poller> Poller::Create(bool force_poll, std::string* error) {
+#if defined(__linux__)
+  if (!force_poll) {
+    const int epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epfd >= 0) return std::make_unique<EpollPoller>(epfd);
+    // epoll unavailable (exotic container seccomp profiles): fall through
+    // to the portable backend rather than failing to serve at all.
+  }
+#else
+  (void)force_poll;
+#endif
+  (void)error;
+  return std::make_unique<PollPoller>();
+}
+
+}  // namespace esd::net

@@ -1,0 +1,49 @@
+#ifndef ESD_NET_POLLER_H_
+#define ESD_NET_POLLER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace esd::net {
+
+/// Readiness-notification backend of the event loop: epoll on Linux,
+/// poll(2) everywhere (and on Linux when forced, so the fallback path is
+/// testable on the primary platform). One instance belongs to one loop
+/// thread; no method is thread-safe.
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    /// Error/hangup readiness (EPOLLERR/EPOLLHUP, POLLERR/POLLHUP/POLLNVAL).
+    /// The loop treats it as readable: the next read() surfaces the errno.
+    bool error = false;
+  };
+
+  virtual ~Poller() = default;
+
+  /// Registers fd with the given interest set. fd must not be registered.
+  virtual bool Add(int fd, bool want_read, bool want_write) = 0;
+  /// Re-arms an already registered fd.
+  virtual bool Update(int fd, bool want_read, bool want_write) = 0;
+  /// Deregisters; safe to call for an fd about to be closed.
+  virtual void Remove(int fd) = 0;
+
+  /// Blocks up to timeout_ms (-1 = forever) and appends ready events to
+  /// *out (cleared first). Returns the event count, 0 on timeout, -1 on a
+  /// non-EINTR wait error.
+  virtual int Wait(std::vector<Event>* out, int timeout_ms) = 0;
+
+  virtual const char* backend_name() const = 0;
+
+  /// Builds the platform's best backend (epoll on Linux), or the portable
+  /// poll backend when force_poll is set or epoll is unavailable. Null with
+  /// *error set only if even poll setup fails.
+  static std::unique_ptr<Poller> Create(bool force_poll, std::string* error);
+};
+
+}  // namespace esd::net
+
+#endif  // ESD_NET_POLLER_H_

@@ -115,11 +115,18 @@ void EsdQueryService::Start() {
   });
 }
 
-std::future<QueryResponse> EsdQueryService::Submit(
+EsdQueryService::Pending EsdQueryService::MakePending(
     const QueryRequest& request) {
   Pending p;
   p.request = request;
-  p.enqueued = Clock::now();
+  // Wire-stamped requests anchor at arrival: steady_clock is the clock
+  // behind obs::MonotonicNanos, so the nanosecond stamp converts back to a
+  // time_point on the same timeline and queue_wait covers the socket and
+  // event-loop leg too, not just the admission queue.
+  p.enqueued = request.arrival_ns == 0
+                   ? Clock::now()
+                   : Clock::time_point(
+                         std::chrono::nanoseconds(request.arrival_ns));
   p.deadline =
       request.deadline_us == 0
           ? Clock::time_point::max()
@@ -131,8 +138,33 @@ std::future<QueryResponse> EsdQueryService::Submit(
   p.ctx.admit_ns = Nanos(p.enqueued);
   p.admit_health =
       static_cast<obs::HealthState>(last_health_.load(std::memory_order_relaxed));
-  std::future<QueryResponse> future = p.promise.get_future();
+  return p;
+}
 
+void EsdQueryService::Resolve(Pending& p, QueryResponse response) {
+  if (p.callback) {
+    p.callback(std::move(response));
+  } else {
+    p.promise.set_value(std::move(response));
+  }
+}
+
+std::future<QueryResponse> EsdQueryService::Submit(
+    const QueryRequest& request) {
+  Pending p = MakePending(request);
+  std::future<QueryResponse> future = p.promise.get_future();
+  Enqueue(std::move(p));
+  return future;
+}
+
+void EsdQueryService::SubmitAsync(const QueryRequest& request,
+                                  std::function<void(QueryResponse)> done) {
+  Pending p = MakePending(request);
+  p.callback = std::move(done);
+  Enqueue(std::move(p));
+}
+
+void EsdQueryService::Enqueue(Pending p) {
   ResponseStatus bounce = ResponseStatus::kOk;
   // Admission fail point: a fired error action sheds this request exactly
   // like a full queue would (same typed status, same metrics), letting
@@ -152,15 +184,16 @@ std::future<QueryResponse> EsdQueryService::Submit(
   }
   metrics_.SetQueueDepth(depth);
   if (bounce != ResponseStatus::kOk) {
+    // p was not moved into the queue on this branch; resolve it here, on
+    // the caller's thread (SubmitAsync documents this synchronous case).
     metrics_.RecordRejected();
     QueryResponse response;
     response.status = bounce;
-    p.promise.set_value(std::move(response));
+    Resolve(p, std::move(response));
   } else {
     metrics_.RecordAccepted();
     queue_ready_.notify_one();
   }
-  return future;
 }
 
 QueryResponse EsdQueryService::Query(const QueryRequest& request) {
@@ -184,7 +217,7 @@ void EsdQueryService::Stop() {
   for (Pending& p : orphans) {
     QueryResponse response;
     response.status = ResponseStatus::kShutdown;
-    p.promise.set_value(std::move(response));
+    Resolve(p, std::move(response));
   }
   if (runner_.joinable()) runner_.join();
 }
@@ -442,7 +475,7 @@ void EsdQueryService::ServeBatch(std::vector<Pending> batch) {
   }
   if (executed > 0) metrics_.RecordBatch(distinct_taus, executed);
   for (size_t i = 0; i < batch.size(); ++i) {
-    batch[i].promise.set_value(std::move(responses[i]));
+    Resolve(batch[i], std::move(responses[i]));
   }
 }
 

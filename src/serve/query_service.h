@@ -34,6 +34,13 @@ struct QueryRequest {
   /// still queued when its deadline passes is answered kDeadlineMissed
   /// without touching the engine (the engine call itself is never aborted).
   uint64_t deadline_us = 0;
+  /// Monotonic nanoseconds (obs::MonotonicNanos) when the request actually
+  /// arrived — stamped by the network front end at decode time. 0 (the
+  /// default) means "now": admission charges queue_wait from its own clock
+  /// read. When set, queue_wait and the deadline are anchored at wire
+  /// arrival, so time a request spends in socket buffers and the event
+  /// loop is attributed to it rather than silently dropped.
+  uint64_t arrival_ns = 0;
 };
 
 enum class ResponseStatus : uint8_t {
@@ -170,6 +177,17 @@ class EsdQueryService {
   /// rejected or post-Stop request resolves immediately.
   std::future<QueryResponse> Submit(const QueryRequest& request);
 
+  /// Callback-completion admission: `done` is invoked exactly once with the
+  /// response — from a worker thread on the normal path, or synchronously
+  /// on the calling thread when the request bounces at admission (queue
+  /// full, post-Stop). Same admission, deadline, batching, cache, and
+  /// telemetry semantics as Submit. The network front end uses this to
+  /// fan responses back into its event loop without a blocking future wait
+  /// per connection; callers must therefore not hold locks the callback
+  /// also takes.
+  void SubmitAsync(const QueryRequest& request,
+                   std::function<void(QueryResponse)> done);
+
   /// Blocking convenience wrapper: Submit + wait. Deadlocks on a paused
   /// service (nothing serves the queue) — call Start() first.
   QueryResponse Query(const QueryRequest& request);
@@ -208,6 +226,9 @@ class EsdQueryService {
   struct Pending {
     QueryRequest request;
     std::promise<QueryResponse> promise;
+    /// Set for SubmitAsync requests; when present the response goes through
+    /// it (Resolve) and the promise is never touched.
+    std::function<void(QueryResponse)> callback;
     Clock::time_point enqueued;
     Clock::time_point deadline;  // time_point::max() when none
     /// Telemetry context minted at admission; travels with the request and
@@ -220,6 +241,15 @@ class EsdQueryService {
 
   void WorkerLoop();
   void ServeBatch(std::vector<Pending> batch);
+  /// Builds a Pending (timestamps, telemetry context, admit health),
+  /// honoring QueryRequest::arrival_ns as the enqueue instant when set.
+  Pending MakePending(const QueryRequest& request);
+  /// Shared admission bottom half of Submit/SubmitAsync.
+  void Enqueue(Pending p);
+  /// Delivers a response through whichever completion channel the request
+  /// carries (callback or promise). Every Pending passes through here
+  /// exactly once — admission bounce, Stop orphan, or served batch.
+  static void Resolve(Pending& p, QueryResponse response);
 
   /// Exactly one of engine_/provider_/epoch_provider_ is set. In provider
   /// modes ServeBatch re-pins per batch; in static mode engine_ (and the
