@@ -298,4 +298,45 @@ FaultHit EvaluateSlow(std::string_view name) {
   return FailPointRegistry::Global().Evaluate(name);
 }
 
+std::vector<FailPointSite> BuiltinFailPointSites() {
+  // Keep sorted by name; one entry per base site. Suffixed per-instance
+  // sites (".shard<i>" on the WAL/refreeze family, ".<i>" on shard.query)
+  // follow the convention noted in their description.
+  return {
+      {"index_io.load", "index file read fails typed (open/parse path)"},
+      {"index_io.save", "index file write fails typed"},
+      {"live.refreeze",
+       "background epoch rebuild fails; feeds the refreeze circuit "
+       "breaker (per shard: live.refreeze.shard<i>)"},
+      {"net.accept", "accept() fails; listener logs and keeps polling"},
+      {"net.read", "connection read fails; connection is torn down"},
+      {"net.write", "connection write fails; connection is torn down"},
+      {"pool.post", "thread-pool task submission drops the task"},
+      {"pool.task", "thread-pool task body fails/stalls (delay actions)"},
+      {"recovery.replay", "WAL replay record fails -> torn-tail handling"},
+      {"serve.admission", "admission sheds the request (typed rejection)"},
+      {"serve.worker", "serving worker stalls (delay) before batch pickup"},
+      {"shard.query.<i>",
+       "scatter probe of shard i errors (dropped from the merge, stall "
+       "breaker trips) or stalls (delay; consecutive slow probes trip)"},
+      {"snapshot.dir_fsync", "snapshot directory fsync fails"},
+      {"snapshot.fsync", "snapshot data fsync fails"},
+      {"snapshot.open", "snapshot temp-file open fails"},
+      {"snapshot.rename", "snapshot atomic rename fails"},
+      {"snapshot.write", "snapshot body write fails"},
+      {"wal.append",
+       "WAL record append fails; exhausting retries flips the index "
+       "read-only (per shard: wal.append.shard<i>)"},
+      {"wal.fsync",
+       "WAL fsync fails (per shard: wal.fsync.shard<i>)"},
+      {"wal.open", "WAL open at boot fails (per shard: wal.open.shard<i>)"},
+      {"wal.short_write",
+       "WAL append writes a short prefix, simulating a torn record "
+       "(per shard: wal.short_write.shard<i>)"},
+      {"wal.truncate",
+       "WAL truncate (checkpoint / torn-tail repair) fails "
+       "(per shard: wal.truncate.shard<i>)"},
+  };
+}
+
 }  // namespace esd::fault

@@ -43,6 +43,22 @@ namespace esd::fault {
 /// affects only direct Evaluate calls, never the instrumented code paths.
 inline constexpr bool kFailPointsCompiledIn = ESD_FAULT_ENABLED != 0;
 
+/// One instrumented call site, for operator discovery (esd_server's
+/// `FAILPOINT LIST`): the point name a chaos schedule would target and
+/// what failing it simulates.
+struct FailPointSite {
+  std::string_view name;
+  std::string_view description;
+};
+
+/// The curated registry of compiled-in call sites, sorted by name. Sites
+/// whose names are built per instance (per-shard WAL/refreeze suffixes
+/// like "wal.append.shard2", per-shard query probes "shard.query.2") are
+/// listed once under their base name with the suffix convention noted —
+/// the live hit counts of the suffixed instances still show up in
+/// FAILPOINT LIST because the registry tracks any evaluated name.
+std::vector<FailPointSite> BuiltinFailPointSites();
+
 /// What one ESD_FAILPOINT evaluation injected. `fired` is true only for
 /// error actions — the call site must fail with `error_code`. Delay
 /// actions sleep inside Evaluate and return fired == false, so call sites

@@ -191,13 +191,21 @@ void WalWriter::Close() {
   }
 }
 
+void WalWriter::SetFaultSiteSuffix(const std::string& suffix) {
+  site_open_ = "wal.open" + suffix;
+  site_append_ = "wal.append" + suffix;
+  site_fsync_ = "wal.fsync" + suffix;
+  site_truncate_ = "wal.truncate" + suffix;
+  site_short_write_ = "wal.short_write" + suffix;
+}
+
 bool WalWriter::Open(const std::string& path, std::string* error,
                      core::ScorerKind scorer) {
   Close();
   last_status_ = WalIoStatus::kOk;
   last_errno_ = 0;
   tail_dirty_ = false;
-  if (const auto hit = ESD_FAILPOINT("wal.open")) {
+  if (const auto hit = ESD_FAILPOINT(site_open_)) {
     last_status_ = WalIoStatus::kIoError;
     last_errno_ = hit.error_code;
     return SetError(error, "cannot open wal file " + path + ": " +
@@ -311,7 +319,7 @@ bool WalWriter::Append(const WalRecord& record, std::string* error) {
     last_errno_ = errno;
     return false;
   }
-  if (const auto hit = ESD_FAILPOINT("wal.append")) {
+  if (const auto hit = ESD_FAILPOINT(site_append_)) {
     last_status_ = WalIoStatus::kIoError;
     last_errno_ = hit.error_code;
     return SetError(error, std::string("wal write failed: ") +
@@ -323,7 +331,7 @@ bool WalWriter::Append(const WalRecord& record, std::string* error) {
   EncodeU64(buf + 4, core::Fnv1a(buf + kWalRecordHeaderBytes,
                                  kWalPayloadBytes));
   const util::WriteResult wr =
-      util::WriteFully(fd_, buf, sizeof(buf), "wal.short_write");
+      util::WriteFully(fd_, buf, sizeof(buf), site_short_write_.c_str());
   eintr_retries_ += wr.eintr_retries;
   if (!wr.ok) {
     last_status_ =
@@ -353,7 +361,7 @@ bool WalWriter::Sync(std::string* error) {
     last_status_ = WalIoStatus::kNotOpen;
     return SetError(error, "wal writer is not open");
   }
-  if (const auto hit = ESD_FAILPOINT("wal.fsync")) {
+  if (const auto hit = ESD_FAILPOINT(site_fsync_)) {
     last_status_ = WalIoStatus::kIoError;
     last_errno_ = hit.error_code;
     return SetError(error, std::string("wal fsync failed: ") +
@@ -375,7 +383,7 @@ bool WalWriter::TruncateAll(std::string* error) {
     last_status_ = WalIoStatus::kNotOpen;
     return SetError(error, "wal writer is not open");
   }
-  if (const auto hit = ESD_FAILPOINT("wal.truncate")) {
+  if (const auto hit = ESD_FAILPOINT(site_truncate_)) {
     last_status_ = WalIoStatus::kIoError;
     last_errno_ = hit.error_code;
     return SetError(error, std::string("wal truncate failed: ") +

@@ -20,6 +20,7 @@
 #include "obs/request_context.h"
 #include "serve/metrics.h"
 #include "serve/result_cache.h"
+#include "serve/sharded_backend.h"
 #include "serve/slowlog.h"
 #include "util/thread_pool.h"
 
@@ -41,13 +42,21 @@ struct QueryRequest {
   /// arrival, so time a request spends in socket buffers and the event
   /// loop is attributed to it rather than silently dropped.
   uint64_t arrival_ns = 0;
+  /// Partial-result policy for sharded serving. false (partial, the
+  /// default): answer from whatever shards are healthy, with the fleet
+  /// tally in QueryResponse::shards_*. true (strict): any degraded or down
+  /// shard fails the request typed (kShardsUnavailable) without executing
+  /// — fail fast instead of silently narrowing the answer. Ignored by
+  /// unsharded services (a single engine is always "all shards ok").
+  bool strict = false;
 };
 
 enum class ResponseStatus : uint8_t {
   kOk = 0,
-  kRejectedQueueFull,  ///< bounced by bounded admission, never queued
-  kDeadlineMissed,     ///< expired while queued, engine never ran
-  kShutdown,           ///< submitted after Stop(), or unserved at teardown
+  kRejectedQueueFull,   ///< bounced by bounded admission, never queued
+  kDeadlineMissed,      ///< expired while queued, engine never ran
+  kShutdown,            ///< submitted after Stop(), or unserved at teardown
+  kShardsUnavailable,   ///< strict query, but >= 1 shard degraded or down
 };
 
 /// The service's answer to one QueryRequest.
@@ -61,6 +70,13 @@ struct QueryResponse {
   /// (queue_wait + batch_formation == queue_us; the remaining stages
   /// partition exec_us). Zeroed for rejected/shutdown responses.
   obs::RequestContext ctx;
+  /// Fleet tally (sharded serving only; all zero on unsharded services):
+  /// shards that contributed to this answer, shards alive but excluded
+  /// (their edges are missing from the result), and shards down. A partial
+  /// answer is exactly one with shards_degraded + shards_down > 0.
+  uint16_t shards_ok = 0;
+  uint16_t shards_degraded = 0;
+  uint16_t shards_down = 0;
 };
 
 /// Concurrent query service over one shared immutable EsdQueryEngine — the
@@ -164,6 +180,12 @@ class EsdQueryService {
   /// without touching the engine; an epoch swap invalidates the whole
   /// cache generation in O(1)).
   EsdQueryService(EpochEngineProvider provider, const Options& options);
+  /// Sharded scatter-gather mode: every miss executes through `backend`
+  /// (which must outlive the service), the result cache keys on the
+  /// backend's monotone Generation() instead of a single epoch, strict
+  /// requests fail typed (kShardsUnavailable) while any shard is sick, and
+  /// every response carries the fleet tally.
+  EsdQueryService(ShardedBackend& backend, const Options& options);
   ~EsdQueryService();
 
   EsdQueryService(const EsdQueryService&) = delete;
@@ -251,12 +273,14 @@ class EsdQueryService {
   /// exactly once — admission bounce, Stop orphan, or served batch.
   static void Resolve(Pending& p, QueryResponse response);
 
-  /// Exactly one of engine_/provider_/epoch_provider_ is set. In provider
-  /// modes ServeBatch re-pins per batch; in static mode engine_ (and the
-  /// frozen_ downcast) are fixed for the service's lifetime.
+  /// Exactly one of engine_/provider_/epoch_provider_/sharded_ is set. In
+  /// provider modes ServeBatch re-pins per batch; in static mode engine_
+  /// (and the frozen_ downcast) are fixed for the service's lifetime; in
+  /// sharded mode every miss scatter-gathers through the backend.
   const core::EsdQueryEngine* engine_;
   EngineProvider provider_;
   EpochEngineProvider epoch_provider_;
+  ShardedBackend* sharded_ = nullptr;
   /// Non-null when engine_ is a FrozenEsdIndex: enables the batched
   /// slab-reuse fast path.
   const core::FrozenEsdIndex* frozen_;

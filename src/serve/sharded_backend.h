@@ -1,0 +1,79 @@
+#ifndef ESD_SERVE_SHARDED_BACKEND_H_
+#define ESD_SERVE_SHARDED_BACKEND_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "core/scorer.h"
+#include "core/topk_result.h"
+#include "obs/health.h"
+
+namespace esd::serve {
+
+/// Fleet health tally stamped into every sharded QueryResponse: how many
+/// shards contributed to (ok), were alive but excluded from (degraded), or
+/// were entirely absent from (down) the merge. ok + degraded + down is the
+/// configured shard count.
+struct ShardCounts {
+  uint16_t ok = 0;
+  uint16_t degraded = 0;  ///< serving an old epoch: read-only, breaker, stale
+  uint16_t down = 0;      ///< quarantined at open, resync required, stall-tripped
+  uint32_t total() const {
+    return static_cast<uint32_t>(ok) + degraded + down;
+  }
+  bool all_ok() const { return degraded == 0 && down == 0; }
+};
+
+/// One scatter-gather execution's outcome.
+struct ShardedOutcome {
+  core::TopKResult result;
+  /// Fleet tally at execution time (may differ from the batch-level poll
+  /// if a shard changed state mid-batch; the response carries this one).
+  ShardCounts shards;
+  /// The merge hit `deadline` before completing; `result` is partial junk
+  /// and the caller must answer kDeadlineMissed instead.
+  bool deadline_expired = false;
+  /// Slab entries actually drained across all shards — the early-exit
+  /// bound's observable: at most k + (#shards - 1) for a k-entry answer.
+  uint64_t drained_entries = 0;
+};
+
+/// The seam between EsdQueryService and a sharded engine (src/shard/).
+/// Lives in serve/ so the service never links the shard (and thus live)
+/// layer; the concrete ShardedQueryEngine implements it one library up.
+///
+/// Thread-safety contract: every method is callable concurrently from all
+/// serving workers, and none of them may block on the backend's write path
+/// (a stalled WAL heal probe must never stall a reader) — the service's
+/// typed-rejection-under-degradation guarantee rests on this.
+class ShardedBackend {
+ public:
+  virtual ~ShardedBackend() = default;
+
+  /// Monotone serving generation: bumps whenever any shard's published
+  /// epoch, health, or up/down state changes. Plays the role the single
+  /// live epoch plays for the result cache — one generation names one
+  /// immutable (epoch vector, fleet state) image, so cached answers are
+  /// invalidated by any shard-level event, including heals.
+  virtual uint64_t Generation() = 0;
+
+  /// Current fleet tally (same classification Execute stamps).
+  virtual ShardCounts Counts() = 0;
+
+  /// Scatter-gather top-k over the healthy shards. Returns when the merge
+  /// finishes or `deadline` passes, whichever is first.
+  virtual ShardedOutcome Execute(
+      uint32_t k, uint32_t tau, bool pad_with_zero_edges,
+      std::chrono::steady_clock::time_point deadline) = 0;
+
+  /// Worst-shard health folded for the service's Health(): any shard down
+  /// or degraded degrades the fleet view (partial answers), all-ok is ok.
+  virtual obs::HealthState Health() const = 0;
+
+  /// Diversity definition every shard serves (shards never mix scorers).
+  virtual core::ScorerKind Scorer() const = 0;
+};
+
+}  // namespace esd::serve
+
+#endif  // ESD_SERVE_SHARDED_BACKEND_H_

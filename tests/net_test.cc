@@ -248,9 +248,10 @@ TEST(NetWireTest, QueryResultCountValidatedAgainstPayload) {
   r.edges = {{1, 2, 3}};
   std::string frame = EncodeQueryResult(r);
   // Inflate the declared edge count without supplying the bytes. The count
-  // lives in the payload; corrupting it must yield kBadPayload, not a huge
+  // lives in the payload (after the v2 prefix: cid,status,rid,epoch + the
+  // 3 u16 shard tallies); corrupting it must yield kBadPayload, not a huge
   // allocation.
-  const size_t count_off = net::kFrameHeaderBytes + 8 + 1 + 8 + 8;
+  const size_t count_off = net::kFrameHeaderBytes + 8 + 1 + 8 + 8 + 6;
   ASSERT_LT(count_off + 4, frame.size());
   const uint32_t bogus = 1000000;
   std::memcpy(&frame[count_off], &bogus, 4);
